@@ -1,0 +1,159 @@
+//! The paper's introductory aggregation example (§2.2): counting the
+//! participants and summing a per-node value over the aggregation tree.
+//!
+//! "To determine the number of nodes that participate in the tree, each
+//! node initially holds the value 1. We start at the leaf nodes, which send
+//! their value to their parent nodes upon activation. Once an inner node
+//! has received all values from its child nodes, upon activation it
+//! combines these by adding them to its own value […] Once the anchor has
+//! combined the values of its child nodes with its own value it knows n."
+//!
+//! This is also how the anchor learns `n` and `m` before a KSelect run
+//! (§4) and how Seap's anchor tracks the heap size `v₀.m` (§5) — one
+//! counting wave. The protocol here is the standalone, test-covered form;
+//! Skeap/Seap/KSelect embed the same pattern in their own waves.
+
+use crate::collector::Collector;
+use dpq_core::bitsize::vlq_bits;
+use dpq_core::{BitSize, NodeId};
+use dpq_overlay::NodeView;
+use dpq_sim::{Ctx, Protocol};
+
+/// Up-wave payload: `(subtree node count, subtree value sum)`.
+#[derive(Debug, Clone, Copy)]
+pub struct CensusUp {
+    /// Nodes in the subtree.
+    pub nodes: u64,
+    /// Sum of the subtree's per-node values.
+    pub sum: u64,
+}
+
+impl BitSize for CensusUp {
+    fn bits(&self) -> u64 {
+        vlq_bits(self.nodes) + vlq_bits(self.sum)
+    }
+}
+
+/// One node of the census protocol.
+pub struct CensusNode {
+    /// This node's local topology knowledge.
+    pub view: NodeView,
+    /// The local value contributed to the sum (e.g. locally stored element
+    /// count when computing m).
+    pub value: u64,
+    collector: Collector<CensusUp>,
+    sent: bool,
+    /// The result, known at the anchor after the wave completes.
+    pub result: Option<CensusUp>,
+}
+
+impl CensusNode {
+    /// A census participant contributing `value` to the sum.
+    pub fn new(view: NodeView, value: u64) -> Self {
+        let collector = Collector::new(&view.children);
+        CensusNode {
+            view,
+            value,
+            collector,
+            sent: false,
+            result: None,
+        }
+    }
+
+    fn try_report(&mut self, ctx: &mut Ctx<CensusUp>) {
+        if self.sent || !self.collector.is_complete() {
+            return;
+        }
+        self.sent = true;
+        let mut acc = CensusUp {
+            nodes: 1,
+            sum: self.value,
+        };
+        for (_, c) in self.collector.take() {
+            acc.nodes += c.nodes;
+            acc.sum += c.sum;
+        }
+        match self.view.parent {
+            Some(p) => ctx.send(p, acc),
+            None => self.result = Some(acc),
+        }
+    }
+}
+
+impl Protocol for CensusNode {
+    type Msg = CensusUp;
+
+    fn on_activate(&mut self, ctx: &mut Ctx<CensusUp>) {
+        self.try_report(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: CensusUp, ctx: &mut Ctx<CensusUp>) {
+        self.collector.insert(from, msg);
+        self.try_report(ctx);
+    }
+
+    fn done(&self) -> bool {
+        self.sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpq_overlay::{tree, Topology};
+    use dpq_sim::SyncScheduler;
+
+    fn run_census(n: usize, seed: u64) -> (CensusUp, u64) {
+        let topo = Topology::new(n, seed);
+        let anchor = tree::anchor_real(&topo);
+        let nodes: Vec<CensusNode> = dpq_overlay::NodeView::extract_all(&topo)
+            .into_iter()
+            .map(|v| {
+                let value = 10 + v.me.0;
+                CensusNode::new(v, value)
+            })
+            .collect();
+        let mut sched = SyncScheduler::new(nodes);
+        let out = sched.run_until_quiescent(10_000);
+        assert!(out.is_quiescent());
+        (
+            sched.node(anchor).result.expect("anchor knows the census"),
+            out.rounds(),
+        )
+    }
+
+    #[test]
+    fn anchor_learns_n_and_the_sum() {
+        for n in [1usize, 2, 7, 40, 200] {
+            let (r, _) = run_census(n, 5);
+            assert_eq!(r.nodes as usize, n);
+            let expect: u64 = (0..n as u64).map(|v| 10 + v).sum();
+            assert_eq!(r.sum, expect);
+        }
+    }
+
+    #[test]
+    fn census_takes_logarithmically_many_rounds() {
+        let (_, r64) = run_census(64, 6);
+        let (_, r4096) = run_census(4096, 6);
+        // 64× more nodes, far less than 64× the rounds (height-bound).
+        assert!(r4096 < 5 * r64, "census rounds {r64} -> {r4096}");
+    }
+
+    #[test]
+    fn messages_are_one_per_edge() {
+        let n = 50;
+        let topo = Topology::new(n, 7);
+        let nodes: Vec<CensusNode> = dpq_overlay::NodeView::extract_all(&topo)
+            .into_iter()
+            .map(|v| CensusNode::new(v, 1))
+            .collect();
+        let mut sched = SyncScheduler::new(nodes);
+        sched.run_until_quiescent(10_000);
+        assert_eq!(sched.metrics.messages as usize, n - 1);
+        assert!(
+            sched.metrics.congestion <= 2,
+            "at most two children can report in one round"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for interval decomposition — the mechanism every phase-3
+//! style down-wave relies on. A slicing bug here silently corrupts position
+//! assignment, so the invariants get hammered with random inputs.
+
+use dpq_agg::{Interval, Segments};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u64..1000, 0u64..1000).prop_map(|(a, len)| Interval::new(a, a + len))
+}
+
+fn arb_segments() -> impl Strategy<Value = Segments> {
+    proptest::collection::vec((0u64..8, arb_interval()), 0..6).prop_map(|parts| {
+        let mut s = Segments::new();
+        for (tag, iv) in parts {
+            s.push(tag, iv);
+        }
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn take_prefix_partitions_cardinality(iv in arb_interval(), k in 0u64..3000) {
+        let (a, b) = iv.take_prefix(k);
+        prop_assert_eq!(a.cardinality() + b.cardinality(), iv.cardinality());
+        prop_assert_eq!(a.cardinality(), k.min(iv.cardinality()));
+        // Positions are preserved in order.
+        let joined: Vec<u64> = a.positions().chain(b.positions()).collect();
+        let orig: Vec<u64> = iv.positions().collect();
+        prop_assert_eq!(joined, orig);
+    }
+
+    #[test]
+    fn segments_take_prefix_preserves_tagged_positions(
+        s in arb_segments(),
+        k in 0u64..5000,
+    ) {
+        let (a, b) = s.take_prefix(k);
+        prop_assert_eq!(a.total() + b.total(), s.total());
+        prop_assert_eq!(a.total(), k.min(s.total()));
+        let joined: Vec<(u64, u64)> =
+            a.iter_positions().chain(b.iter_positions()).collect();
+        let orig: Vec<(u64, u64)> = s.iter_positions().collect();
+        prop_assert_eq!(joined, orig);
+    }
+
+    #[test]
+    fn split_by_counts_is_an_ordered_partition(
+        s in arb_segments(),
+        counts in proptest::collection::vec(0u64..400, 0..8),
+    ) {
+        let chunks = s.split_by_counts(&counts);
+        prop_assert_eq!(chunks.len(), counts.len());
+        // Chunk sizes: each is min(requested, what was left).
+        let mut left = s.total();
+        for (chunk, &c) in chunks.iter().zip(&counts) {
+            prop_assert_eq!(chunk.total(), c.min(left));
+            left -= chunk.total();
+        }
+        // Concatenation is a prefix of the original position sequence.
+        let joined: Vec<(u64, u64)> = chunks.iter().flat_map(|c| c.iter_positions()).collect();
+        let orig: Vec<(u64, u64)> = s.iter_positions().collect();
+        prop_assert_eq!(&joined[..], &orig[..joined.len()]);
+    }
+
+    #[test]
+    fn empty_interval_is_absorbing(k in 0u64..10) {
+        let (a, b) = Interval::EMPTY.take_prefix(k);
+        prop_assert!(a.is_empty());
+        prop_assert!(b.is_empty());
+    }
+}

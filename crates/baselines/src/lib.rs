@@ -1,0 +1,25 @@
+//! # dpq-baselines
+//!
+//! Comparators and oracles:
+//!
+//! * [`seq_heap`] — sequential reference heaps. [`seq_heap::FifoHeap`]
+//!   matches Skeap's semantics (oldest position within the lowest non-empty
+//!   priority); [`seq_heap::KeyHeap`] matches Seap/KSelect's composite-key
+//!   order. Both serve as replay oracles for the semantics checkers.
+//! * [`central`] — the centralized-coordinator distributed heap the paper's
+//!   introduction argues against: every request travels to one node, which
+//!   answers from local state. Correct, simple, and congestion-bound by
+//!   Θ(n·λ) at the coordinator (experiment B1).
+//! * [`naive_kselect`] — gather-everything-to-the-root k-selection: the
+//!   strawman whose message sizes grow linearly with the candidate count,
+//!   against KSelect's O(log n) bits (experiment B2).
+
+#![warn(missing_docs)]
+
+pub mod central;
+pub mod naive_kselect;
+pub mod seq_heap;
+
+pub use central::{CentralMsg, CentralNode};
+pub use naive_kselect::NaiveSelectNode;
+pub use seq_heap::{FifoHeap, KeyHeap, LifoHeap, ReferenceHeap};

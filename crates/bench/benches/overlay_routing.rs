@@ -1,0 +1,46 @@
+//! Criterion bench: overlay primitives — topology construction, point
+//! routing, aggregation-tree derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpq_core::NodeId;
+use dpq_overlay::{route_path, tree, Topology};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    for n in [256usize, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| Topology::new(n, 7));
+        });
+    }
+    g.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("point_route");
+    for n in [256usize, 4096] {
+        let topo = Topology::new(n, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let x = ((i % 997) as f64 + 0.5) / 997.0;
+                route_path(topo, NodeId(i % n as u64), x).0.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_depths");
+    for n in [256usize, 4096] {
+        let topo = Topology::new(n, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| tree::real_depths(topo));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_route, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerate every quantitative claim of the paper.
+//!
+//! ```text
+//! cargo run -p dpq-bench --release --bin experiments            # everything
+//! cargo run -p dpq-bench --release --bin experiments -- e2 e5   # a subset
+//! ```
+//!
+//! Tables are printed and written as CSV under `results/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let wanted: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let out_dir = PathBuf::from("results");
+    let all = dpq_bench::all_experiments();
+    let selected: Vec<_> = all
+        .into_iter()
+        .filter(|(id, _)| wanted.is_empty() || wanted.iter().any(|w| w == id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no matching experiments; known ids:");
+        for (id, _) in dpq_bench::all_experiments() {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    }
+    for (id, run) in selected {
+        let t0 = Instant::now();
+        let table = run();
+        println!("{}", table.render());
+        println!("  ({} finished in {:.1?})\n", id, t0.elapsed());
+        if let Err(e) = table.write_csv(&out_dir) {
+            eprintln!("  ! could not write results/{id}.csv: {e}");
+        }
+    }
+}

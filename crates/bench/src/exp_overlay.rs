@@ -1,0 +1,191 @@
+//! Experiments E12–E14 and F2: the overlay substrate (Lemma 2.2, Lemma A.2,
+//! Corollary A.4, §1.4(4)).
+
+use crate::stats::{log_fit, mean};
+use crate::table::{f, Table};
+use dpq_core::hashing::domains;
+use dpq_core::{DetRng, ElemId, Element, NodeId, Priority};
+use dpq_dht::DhtNode;
+use dpq_overlay::{membership, route_path, tree, NodeView, Topology, VirtId, VirtKind};
+use dpq_sim::SyncScheduler;
+
+/// E12 — Lemma 2.2: tree height, DHT request hops, storage fairness.
+pub fn e12_tree_and_dht() -> Table {
+    let mut t = Table::new(
+        "e12",
+        "Aggregation tree & DHT (Lemma 2.2): height O(log n), ops O(log n) hops, m/n load",
+        &[
+            "n",
+            "tree height",
+            "height/log2(n)",
+            "put+get rounds",
+            "load max/mean (m=64n)",
+        ],
+    );
+    for n in [16usize, 64, 256, 1024] {
+        let heights: Vec<f64> = (0..5)
+            .map(|s| tree::real_height(&Topology::new(n, 2000 + s)) as f64)
+            .collect();
+        let h = mean(&heights);
+
+        // One put + one get measured in rounds (sync scheduler).
+        let topo = Topology::new(n, 2001);
+        let mut sched = SyncScheduler::new(
+            NodeView::extract_all(&topo)
+                .into_iter()
+                .map(DhtNode::new)
+                .collect::<Vec<_>>(),
+        );
+        sched.nodes_mut()[0].enqueue_put(
+            domains::SKEAP_KEY,
+            42,
+            Element::new(ElemId::compose(NodeId(0), 0), Priority(1), 0),
+            0,
+        );
+        let r1 = sched.run_until_quiescent(100_000).rounds();
+        sched.nodes_mut()[n / 2].enqueue_get(domains::SKEAP_KEY, 42, 1);
+        let r2 = sched.run_until_quiescent(100_000).rounds();
+
+        // Fairness: m = 64n random-key elements.
+        let mut sched2 = SyncScheduler::new(
+            NodeView::extract_all(&topo)
+                .into_iter()
+                .map(DhtNode::new)
+                .collect::<Vec<_>>(),
+        );
+        let mut rng = DetRng::new(5);
+        let m = 64 * n as u64;
+        for k in 0..m {
+            let v = rng.below(n as u64) as usize;
+            sched2.nodes_mut()[v].enqueue_put(
+                domains::SKEAP_KEY,
+                k,
+                Element::new(ElemId::compose(NodeId(v as u64), k), Priority(k), 0),
+                k,
+            );
+        }
+        assert!(sched2.run_until_quiescent(300_000).is_quiescent());
+        let loads: Vec<f64> = sched2
+            .nodes()
+            .iter()
+            .map(|nd| nd.shard.len() as f64)
+            .collect();
+        let ratio = crate::stats::max(&loads) / mean(&loads);
+
+        t.row(vec![
+            n.to_string(),
+            f(h),
+            f(h / (n as f64).log2()),
+            format!("{}", r1 + r2),
+            f(ratio),
+        ]);
+    }
+    t.note("height/log2(n) flat ⇒ Corollary A.4; load ratio bounded ⇒ Lemma 2.2(iv) fairness");
+    t
+}
+
+/// E13 — Lemma A.2: point routing in O(log n) hops.
+pub fn e13_routing() -> Table {
+    let mut t = Table::new(
+        "e13",
+        "LDB point-routing hops vs n (Lemma A.2: O(log n) w.h.p.)",
+        &["n", "avg hops", "p99 hops", "max hops", "avg/log2(n)"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for n in [16usize, 64, 256, 1024, 4096] {
+        let topo = Topology::new(n, 3000);
+        let mut hops: Vec<f64> = Vec::new();
+        for i in 0..400 {
+            let x = (i as f64 + 0.5) / 400.0;
+            let from = NodeId(((i * 31) % n) as u64);
+            hops.push((route_path(&topo, from, x).0.len() - 1) as f64);
+        }
+        hops.sort_by(f64::total_cmp);
+        let avg = mean(&hops);
+        let p99 = hops[(hops.len() as f64 * 0.99) as usize];
+        xs.push(n as f64);
+        ys.push(avg);
+        t.row(vec![
+            n.to_string(),
+            f(avg),
+            f(p99),
+            f(*hops.last().unwrap()),
+            f(avg / (n as f64).log2()),
+        ]);
+    }
+    let (a, b, r2) = log_fit(&xs, &ys);
+    t.note(format!(
+        "fit: hops ≈ {}·log2(n) + {}  (r² = {:.3})",
+        f(a),
+        f(b),
+        r2
+    ));
+    t
+}
+
+/// E14 — §1.4(4): Join/Leave in O(log n).
+pub fn e14_join_leave() -> Table {
+    let mut t = Table::new(
+        "e14",
+        "Join/Leave (§1.4(4)): O(log n) locate hops, constant splice, tree stays valid",
+        &[
+            "n",
+            "avg join locate hops",
+            "splice links",
+            "churn validity",
+        ],
+    );
+    for n in [32usize, 128, 512] {
+        let mut topo = Topology::new(n, 4000);
+        let mut hops = Vec::new();
+        let mut valid = true;
+        for i in 0..20u64 {
+            if i % 3 == 2 && topo.n() > n / 2 {
+                let (next, _) = membership::leave_last(&topo);
+                topo = next;
+            } else {
+                let label = membership::join_label(44, 10_000 + i);
+                let (next, stats) = membership::join(&topo, NodeId(i % topo.n() as u64), label);
+                hops.push(stats.locate_hops as f64);
+                topo = next;
+            }
+            valid &= tree::validate(&topo).is_ok();
+        }
+        t.row(vec![
+            n.to_string(),
+            f(mean(&hops)),
+            "6".into(),
+            if valid { "20/20 valid" } else { "BROKEN" }.into(),
+        ]);
+    }
+    t.note("locate cost = one point-route (E13); splice touches 6 pred/succ links");
+    t
+}
+
+/// F2 — Figure 2: the two-node LDB and its aggregation tree.
+pub fn f2_figure2() -> Table {
+    let topo = Topology::from_middles(vec![0.4, 0.6]);
+    let u = NodeId(0);
+    let v = NodeId(1);
+    let mut t = Table::new(
+        "f2",
+        "Figure 2: 6-virtual-node LDB of two real nodes and its aggregation tree",
+        &["virtual node", "label", "tree parent"],
+    );
+    for real in [u, v] {
+        for kind in VirtKind::ALL {
+            let id = VirtId::new(real, kind);
+            let parent = tree::virt_parent(&topo, id)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "(root)".into());
+            t.row(vec![id.to_string(), f(topo.label(id)), parent]);
+        }
+    }
+    t.note(format!(
+        "anchor = {}; contracted tree: parent({v}) = {:?}",
+        tree::anchor_real(&topo),
+        tree::real_parent(&topo, v)
+    ));
+    t
+}

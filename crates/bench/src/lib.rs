@@ -1,0 +1,47 @@
+//! # dpq-bench
+//!
+//! The experiment harness regenerating every quantitative claim of the
+//! paper. Each experiment in DESIGN.md's index (E1–E14, F1–F2, B1–B2) is a
+//! function returning a [`table::Table`]; the `experiments` binary prints
+//! them and writes CSV into `results/`. Criterion microbenches live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod exp_baselines;
+pub mod exp_kselect;
+pub mod exp_overlay;
+pub mod exp_seap;
+pub mod exp_skeap;
+pub mod stats;
+pub mod table;
+
+use table::Table;
+
+/// A named experiment entry.
+pub type Experiment = (&'static str, fn() -> Table);
+
+/// All experiments in index order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("e1", exp_skeap::e1_semantics as fn() -> Table),
+        ("e2", exp_skeap::e2_rounds),
+        ("e3", exp_skeap::e3_congestion),
+        ("e4", exp_skeap::e4_message_bits),
+        ("e5", exp_kselect::e5_costs),
+        ("e6", exp_kselect::e6_phase1_reduction),
+        ("e7", exp_kselect::e7_phase2_iterations),
+        ("e8", exp_kselect::e8_tree_memberships),
+        ("e9", exp_seap::e9_semantics),
+        ("e10", exp_seap::e10_costs),
+        ("e11", exp_seap::e11_message_size_vs_skeap),
+        ("e12", exp_overlay::e12_tree_and_dht),
+        ("e13", exp_overlay::e13_routing),
+        ("e14", exp_overlay::e14_join_leave),
+        ("e15", exp_skeap::e15_discipline_ablation),
+        ("f1", exp_skeap::f1_figure1),
+        ("f2", exp_overlay::f2_figure2),
+        ("b1", exp_baselines::b1_central_congestion),
+        ("b2", exp_baselines::b2_naive_kselect),
+    ]
+}

@@ -1,0 +1,89 @@
+//! Small statistics helpers for the experiment tables.
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample maximum.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Ordinary least squares of `y = a·x + b`. Returns `(a, b, r²)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2);
+    let n = xs.len() as f64;
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let a = sxy / sxx;
+    let b = my - a * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (a * x + b);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    let _ = n;
+    (a, b, r2)
+}
+
+/// Fit `y = a·log₂(x) + b`; the shape test behind every "O(log n) rounds"
+/// claim. Returns `(a, b, r²)`.
+pub fn log_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let lx: Vec<f64> = xs.iter().map(|x| x.log2()).collect();
+    linear_fit(&lx, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!((b - 1.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_fit_recovers_logarithmic_growth() {
+        let xs = [8.0, 16.0, 32.0, 64.0, 128.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 5.0 * x.log2() + 2.0).collect();
+        let (a, b, r2) = log_fit(&xs, &ys);
+        assert!((a - 5.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn r2_is_low_for_linear_data_under_log_model() {
+        let xs = [8.0, 64.0, 512.0, 4096.0];
+        let ys: Vec<f64> = xs.to_vec(); // y = x: badly non-logarithmic
+        let (_, _, r2) = log_fit(&xs, &ys);
+        assert!(r2 < 0.9, "r² = {r2}");
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 3.0, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Experiment result tables: terminal rendering + CSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One experiment's results.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id from the DESIGN.md index ("e2", "b1", …).
+    pub id: String,
+    /// The paper claim being reproduced.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (cells pre-formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation: the fit, the verdict, caveats.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table with the given identity and columns.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append an interpretation note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render for the terminal.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ── {}", self.id.to_uppercase(), self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("  ");
+            for (w, c) in widths.iter().zip(cells) {
+                let _ = write!(s, "{c:>w$}  ", w = *w);
+            }
+            let _ = writeln!(out, "{}", s.trim_end());
+        };
+        line(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  » {n}");
+        }
+        out
+    }
+
+    /// Write as CSV under `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                s,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        std::fs::write(dir.join(format!("{}.csv", self.id)), s)
+    }
+}
+
+/// Format a float compactly.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("e0", "demo", &["n", "rounds"]);
+        t.row(vec!["8".into(), "77".into()]);
+        t.row(vec!["1024".into(), "148".into()]);
+        t.note("fit: looks fine");
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("1024"));
+        assert!(s.contains("» fit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_are_rejected() {
+        let mut t = Table::new("x", "y", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let dir = std::env::temp_dir().join("dpq_table_test");
+        let mut t = Table::new("etest", "t", &["a"]);
+        t.row(vec!["x,y".into()]);
+        t.write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(dir.join("etest.csv")).unwrap();
+        assert!(s.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(1.234), "1.23");
+    }
+}

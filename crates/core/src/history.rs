@@ -1,0 +1,127 @@
+//! Execution histories.
+//!
+//! A [`History`] records, for every node, the requests it issued *in issue
+//! order* together with their returns. This is exactly the information the
+//! semantic definitions of the paper quantify over: the per-node order is
+//! what local consistency (Definition 1.1) constrains, and the returns induce
+//! the matching M (Definition 1.2).
+
+use crate::ids::NodeId;
+use crate::ops::{MatchError, MatchSet, OpId, OpKind, OpRecord, OpReturn};
+
+/// The requests issued by one node, in the order it issued them.
+#[derive(Debug, Default, Clone)]
+pub struct NodeHistory {
+    /// This node's records, in issue order.
+    pub ops: Vec<OpRecord>,
+}
+
+impl NodeHistory {
+    /// Append a newly issued (not yet completed) request and return its id.
+    pub fn issue(&mut self, node: NodeId, kind: OpKind) -> OpId {
+        let id = OpId {
+            node,
+            seq: self.ops.len() as u64,
+        };
+        self.ops.push(OpRecord::new(id, kind));
+        id
+    }
+
+    /// Record the return value of a previously issued request.
+    pub fn complete(&mut self, id: OpId, ret: OpReturn) {
+        let rec = &mut self.ops[id.seq as usize];
+        debug_assert_eq!(rec.id, id);
+        debug_assert!(rec.ret.is_none(), "request {id} completed twice");
+        rec.ret = Some(ret);
+    }
+
+    /// Attach the serialization-witness counter to a request (Skeap §3.3).
+    pub fn witness(&mut self, id: OpId, value: u64) {
+        let rec = &mut self.ops[id.seq as usize];
+        debug_assert_eq!(rec.id, id);
+        rec.witness = Some(value);
+    }
+}
+
+/// A whole-cluster execution history.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    /// One per node, indexed by `NodeId::index()`.
+    pub nodes: Vec<NodeHistory>,
+}
+
+impl History {
+    /// An empty history for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        History {
+            nodes: vec![NodeHistory::default(); n],
+        }
+    }
+
+    /// Mutable access to one node's records.
+    pub fn node(&mut self, v: NodeId) -> &mut NodeHistory {
+        &mut self.nodes[v.index()]
+    }
+
+    /// All records across all nodes (unordered).
+    pub fn records(&self) -> impl Iterator<Item = &OpRecord> {
+        self.nodes.iter().flat_map(|n| n.ops.iter())
+    }
+
+    /// Count of issued requests.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().map(|n| n.ops.len()).sum()
+    }
+
+    /// No requests issued at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of completed requests.
+    pub fn completed(&self) -> usize {
+        self.records().filter(|r| r.is_complete()).count()
+    }
+
+    /// Derive the matching M from the returns recorded so far.
+    pub fn matching(&self) -> Result<MatchSet, MatchError> {
+        MatchSet::derive(self.records().copied())
+    }
+
+    /// Merge histories produced by independent per-node recorders.
+    pub fn merge(parts: Vec<NodeHistory>) -> Self {
+        History { nodes: parts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::ids::ElemId;
+    use crate::priority::Priority;
+
+    #[test]
+    fn issue_assigns_consecutive_seq() {
+        let mut h = History::new(2);
+        let a = h.node(NodeId(0)).issue(NodeId(0), OpKind::DeleteMin);
+        let b = h.node(NodeId(0)).issue(NodeId(0), OpKind::DeleteMin);
+        let c = h.node(NodeId(1)).issue(NodeId(1), OpKind::DeleteMin);
+        assert_eq!((a.seq, b.seq, c.seq), (0, 1, 0));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.completed(), 0);
+    }
+
+    #[test]
+    fn complete_and_match_roundtrip() {
+        let e = Element::new(ElemId::compose(NodeId(0), 0), Priority(3), 0);
+        let mut h = History::new(2);
+        let ins = h.node(NodeId(0)).issue(NodeId(0), OpKind::Insert(e));
+        let del = h.node(NodeId(1)).issue(NodeId(1), OpKind::DeleteMin);
+        h.node(NodeId(0)).complete(ins, OpReturn::Inserted);
+        h.node(NodeId(1)).complete(del, OpReturn::Removed(e));
+        let m = h.matching().unwrap();
+        assert_eq!(m.by_delete[&del], ins);
+        assert_eq!(h.completed(), 2);
+    }
+}

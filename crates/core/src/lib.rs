@@ -1,0 +1,32 @@
+//! # dpq-core
+//!
+//! Shared foundation types for the Skeap & Seap distributed priority queue
+//! suite (reproduction of Feldmann & Scheideler, SPAA 2019).
+//!
+//! This crate is deliberately dependency-light: it defines the vocabulary the
+//! whole workspace speaks — elements and priorities (§1.2 of the paper),
+//! operation records and matchings (Definitions 1.1/1.2), deterministic
+//! pseudorandom hashing (the paper's "publicly known pseudorandom hash
+//! function"), and the bit-size accounting used by every message-size
+//! experiment (Lemmas 3.8 and 5.5).
+
+#![warn(missing_docs)]
+
+pub mod bitsize;
+pub mod element;
+pub mod hashing;
+pub mod history;
+pub mod ids;
+pub mod ops;
+pub mod priority;
+pub mod rng;
+pub mod workload;
+
+pub use bitsize::BitSize;
+pub use element::Element;
+pub use hashing::{hash_pair_unit, hash_to_unit, hash_u64, split_mix64};
+pub use history::{History, NodeHistory};
+pub use ids::{ElemId, NodeId};
+pub use ops::{MatchSet, OpId, OpKind, OpRecord, OpReturn};
+pub use priority::{Key, Priority};
+pub use rng::DetRng;

@@ -1,0 +1,156 @@
+//! Client side: request-id bookkeeping for a node issuing Puts and Gets.
+
+use crate::msgs::{DhtReq, DhtResp};
+use dpq_core::{Element, NodeId};
+use std::collections::HashMap;
+
+/// Tracks a node's outstanding DHT requests and maps responses back to the
+/// caller-supplied token (e.g. the local operation the request serves).
+#[derive(Debug, Default, Clone)]
+pub struct DhtClient {
+    next_id: u64,
+    puts: HashMap<u64, u64>,
+    gets: HashMap<u64, u64>,
+}
+
+impl DhtClient {
+    /// A client with no outstanding requests.
+    pub fn new() -> Self {
+        DhtClient::default()
+    }
+
+    /// Build a Put request tagged with `token`.
+    pub fn put(&mut self, me: NodeId, logical: u64, elem: Element, token: u64) -> DhtReq {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.puts.insert(id, token);
+        DhtReq::Put {
+            logical,
+            elem,
+            reply_to: me,
+            id,
+        }
+    }
+
+    /// Build a Get request tagged with `token`.
+    pub fn get(&mut self, me: NodeId, logical: u64, token: u64) -> DhtReq {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.gets.insert(id, token);
+        DhtReq::Get {
+            logical,
+            reply_to: me,
+            id,
+        }
+    }
+
+    /// Resolve a response to its token.
+    pub fn on_response(&mut self, resp: &DhtResp) -> Completion {
+        match resp {
+            DhtResp::PutAck { id } => {
+                let token = self.puts.remove(id).expect("ack for unknown put");
+                Completion::PutDone { token }
+            }
+            DhtResp::GetOk { id, elem } => {
+                let token = self.gets.remove(id).expect("reply for unknown get");
+                Completion::GotElement { token, elem: *elem }
+            }
+        }
+    }
+
+    /// Outstanding request count (both kinds).
+    pub fn outstanding(&self) -> usize {
+        self.puts.len() + self.gets.len()
+    }
+
+    /// Unconfirmed Puts.
+    pub fn outstanding_puts(&self) -> usize {
+        self.puts.len()
+    }
+
+    /// Unanswered Gets.
+    pub fn outstanding_gets(&self) -> usize {
+        self.gets.len()
+    }
+
+    /// Nothing outstanding.
+    pub fn idle(&self) -> bool {
+        self.outstanding() == 0
+    }
+}
+
+/// A resolved DHT request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A Put was confirmed.
+    PutDone {
+        /// The caller-supplied token.
+        token: u64,
+    },
+    /// A Get returned its element.
+    GotElement {
+        /// The caller-supplied token.
+        token: u64,
+        /// The fetched element.
+        elem: Element,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpq_core::{ElemId, Priority};
+
+    fn elem() -> Element {
+        Element::new(ElemId::compose(NodeId(1), 1), Priority(2), 3)
+    }
+
+    #[test]
+    fn tokens_roundtrip_through_ids() {
+        let mut c = DhtClient::new();
+        let req = c.put(NodeId(0), 5, elem(), 777);
+        let DhtReq::Put { id, .. } = req else {
+            panic!("expected put")
+        };
+        assert_eq!(c.outstanding(), 1);
+        let done = c.on_response(&DhtResp::PutAck { id });
+        assert_eq!(done, Completion::PutDone { token: 777 });
+        assert!(c.idle());
+    }
+
+    #[test]
+    fn get_resolution_carries_element() {
+        let mut c = DhtClient::new();
+        let DhtReq::Get { id, .. } = c.get(NodeId(0), 9, 42) else {
+            panic!("expected get")
+        };
+        let done = c.on_response(&DhtResp::GetOk { id, elem: elem() });
+        assert_eq!(
+            done,
+            Completion::GotElement {
+                token: 42,
+                elem: elem()
+            }
+        );
+    }
+
+    #[test]
+    fn ids_are_unique_across_kinds() {
+        let mut c = DhtClient::new();
+        let a = c.put(NodeId(0), 1, elem(), 0);
+        let b = c.get(NodeId(0), 1, 0);
+        let (DhtReq::Put { id: ia, .. }, DhtReq::Get { id: ib, .. }) = (a, b) else {
+            panic!()
+        };
+        assert_ne!(ia, ib);
+        assert_eq!(c.outstanding_puts(), 1);
+        assert_eq!(c.outstanding_gets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown put")]
+    fn stray_ack_panics() {
+        let mut c = DhtClient::new();
+        c.on_response(&DhtResp::PutAck { id: 99 });
+    }
+}

@@ -1,0 +1,33 @@
+//! # dpq-dht
+//!
+//! The distributed hash table the aggregation tree embeds (Lemma 2.2(ii–iv)).
+//!
+//! * `Put(k, e)` stores element `e` at the virtual node managing the
+//!   pseudorandom point derived from the logical key `k`; `Get(k, v)`
+//!   removes the element stored under `k` and delivers it back to `v`.
+//! * Requests are routed over the LDB (O(log n) hops w.h.p., Lemma 2.2(iii));
+//!   replies travel directly — the requester's reference is carried in the
+//!   request, and in the paper's model a known node is a usable edge.
+//! * **Parking**: "it may happen that a Get request arrives at the correct
+//!   node before the corresponding Put … the Get waits at that node until
+//!   the Put has arrived" (§3.2.4). [`DhtShard`] implements exactly that.
+//! * Fairness (Lemma 2.2(iv)): keys hash uniformly, so each node manages a
+//!   Θ(1/n) share of the key space in expectation — experiment E12 measures
+//!   the realised load.
+//!
+//! The pieces are sans-IO components: protocol state machines own a
+//! [`DhtShard`] (server side) and a [`DhtClient`] (request bookkeeping) and
+//! wire the messages through their own message enum.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod msgs;
+pub mod node;
+pub mod shard;
+
+pub use client::Completion;
+pub use client::DhtClient;
+pub use msgs::{point_for, DhtReq, DhtResp};
+pub use node::{DhtNode, DhtWire};
+pub use shard::DhtShard;

@@ -1,0 +1,264 @@
+//! Server side: the key/element store one node keeps for the segments its
+//! virtual nodes manage.
+
+use crate::msgs::{DhtReq, DhtResp};
+use dpq_core::{Element, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// One node's slice of the DHT, with Get-parking (§3.2.4).
+#[derive(Debug, Default, Clone)]
+pub struct DhtShard {
+    /// Elements stored under each logical key, in arrival order. Protocol
+    /// keys are unique per slot, but the store tolerates reuse (Seap reuses
+    /// position keys across DeleteMin phases) by queueing.
+    store: HashMap<u64, VecDeque<Element>>,
+    /// Gets waiting for their Put, in arrival order.
+    parked: HashMap<u64, VecDeque<(NodeId, u64)>>,
+}
+
+impl DhtShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        DhtShard::default()
+    }
+
+    /// Handle a routed request that was delivered to this node. Returns the
+    /// direct responses to send.
+    pub fn handle(&mut self, req: DhtReq) -> Vec<(NodeId, DhtResp)> {
+        match req {
+            DhtReq::Put {
+                logical,
+                elem,
+                reply_to,
+                id,
+            } => {
+                let mut out = Vec::with_capacity(2);
+                out.push((reply_to, DhtResp::PutAck { id }));
+                // A parked Get consumes the element immediately.
+                if let Some(q) = self.parked.get_mut(&logical) {
+                    let (getter, get_id) = q.pop_front().expect("parked queues are non-empty");
+                    if q.is_empty() {
+                        self.parked.remove(&logical);
+                    }
+                    out.push((getter, DhtResp::GetOk { id: get_id, elem }));
+                } else {
+                    self.store.entry(logical).or_default().push_back(elem);
+                }
+                out
+            }
+            DhtReq::Get {
+                logical,
+                reply_to,
+                id,
+            } => {
+                if let Some(q) = self.store.get_mut(&logical) {
+                    let elem = q.pop_front().expect("store queues are non-empty");
+                    if q.is_empty() {
+                        self.store.remove(&logical);
+                    }
+                    vec![(reply_to, DhtResp::GetOk { id, elem })]
+                } else {
+                    self.parked
+                        .entry(logical)
+                        .or_default()
+                        .push_back((reply_to, id));
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Number of stored elements (parked Gets excluded).
+    pub fn len(&self) -> usize {
+        self.store.values().map(VecDeque::len).sum()
+    }
+
+    /// No elements stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of Gets currently waiting for their Put.
+    pub fn parked_count(&self) -> usize {
+        self.parked.values().map(VecDeque::len).sum()
+    }
+
+    /// Drain everything — the handover a leaving node performs (its
+    /// successor re-ingests the returned pairs).
+    pub fn drain_all(&mut self) -> Vec<(u64, Element)> {
+        let mut out: Vec<(u64, Element)> = self
+            .store
+            .drain()
+            .flat_map(|(k, q)| q.into_iter().map(move |e| (k, e)))
+            .collect();
+        out.sort_by_key(|(k, e)| (*k, e.id));
+        out
+    }
+
+    /// Re-ingest handed-over pairs (join/leave path).
+    pub fn ingest(&mut self, pairs: impl IntoIterator<Item = (u64, Element)>) {
+        for (k, e) in pairs {
+            self.store.entry(k).or_default().push_back(e);
+        }
+    }
+
+    /// Remove and return every stored element matching the predicate, in
+    /// ascending element-key order. Seap's DeleteMin phase uses this to
+    /// pull the locally stored elements among the k smallest out of their
+    /// random-key slots before re-storing them under position keys (§5.2).
+    pub fn extract_matching(
+        &mut self,
+        mut pred: impl FnMut(u64, &Element) -> bool,
+    ) -> Vec<Element> {
+        let mut out = Vec::new();
+        self.store.retain(|&k, q| {
+            let mut kept = VecDeque::with_capacity(q.len());
+            for e in q.drain(..) {
+                if pred(k, &e) {
+                    out.push(e);
+                } else {
+                    kept.push_back(e);
+                }
+            }
+            *q = kept;
+            !q.is_empty()
+        });
+        out.sort();
+        out
+    }
+
+    /// Iterate stored elements (any order).
+    pub fn elements(&self) -> impl Iterator<Item = (u64, &Element)> {
+        self.store
+            .iter()
+            .flat_map(|(&k, q)| q.iter().map(move |e| (k, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpq_core::{ElemId, Priority};
+
+    fn elem(seq: u64) -> Element {
+        Element::new(ElemId::compose(NodeId(0), seq), Priority(seq), 0)
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let mut s = DhtShard::new();
+        let acks = s.handle(DhtReq::Put {
+            logical: 7,
+            elem: elem(1),
+            reply_to: NodeId(3),
+            id: 100,
+        });
+        assert!(matches!(acks[0], (NodeId(3), DhtResp::PutAck { id: 100 })));
+        assert_eq!(s.len(), 1);
+        let got = s.handle(DhtReq::Get {
+            logical: 7,
+            reply_to: NodeId(5),
+            id: 200,
+        });
+        assert!(matches!(got[0], (NodeId(5), DhtResp::GetOk { id: 200, elem: e }) if e == elem(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn get_before_put_parks_and_resolves() {
+        let mut s = DhtShard::new();
+        let none = s.handle(DhtReq::Get {
+            logical: 9,
+            reply_to: NodeId(4),
+            id: 1,
+        });
+        assert!(none.is_empty());
+        assert_eq!(s.parked_count(), 1);
+        let out = s.handle(DhtReq::Put {
+            logical: 9,
+            elem: elem(2),
+            reply_to: NodeId(8),
+            id: 2,
+        });
+        // PutAck to the putter AND GetOk to the parked getter.
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], (NodeId(8), DhtResp::PutAck { id: 2 })));
+        assert!(matches!(out[1], (NodeId(4), DhtResp::GetOk { id: 1, .. })));
+        assert!(s.is_empty());
+        assert_eq!(s.parked_count(), 0);
+    }
+
+    #[test]
+    fn key_reuse_queues_fifo() {
+        let mut s = DhtShard::new();
+        for i in 0..3 {
+            s.handle(DhtReq::Put {
+                logical: 1,
+                elem: elem(i),
+                reply_to: NodeId(0),
+                id: i,
+            });
+        }
+        for i in 0..3 {
+            let out = s.handle(DhtReq::Get {
+                logical: 1,
+                reply_to: NodeId(0),
+                id: 10 + i,
+            });
+            assert!(matches!(out[0].1, DhtResp::GetOk { elem: e, .. } if e == elem(i)));
+        }
+    }
+
+    #[test]
+    fn multiple_parked_gets_resolve_in_order() {
+        let mut s = DhtShard::new();
+        for i in 0..2 {
+            s.handle(DhtReq::Get {
+                logical: 5,
+                reply_to: NodeId(i),
+                id: i,
+            });
+        }
+        let first = s.handle(DhtReq::Put {
+            logical: 5,
+            elem: elem(0),
+            reply_to: NodeId(9),
+            id: 50,
+        });
+        assert!(matches!(
+            first[1],
+            (NodeId(0), DhtResp::GetOk { id: 0, .. })
+        ));
+        assert_eq!(s.parked_count(), 1);
+        let second = s.handle(DhtReq::Put {
+            logical: 5,
+            elem: elem(1),
+            reply_to: NodeId(9),
+            id: 51,
+        });
+        assert!(matches!(
+            second[1],
+            (NodeId(1), DhtResp::GetOk { id: 1, .. })
+        ));
+        assert_eq!(s.parked_count(), 0);
+    }
+
+    #[test]
+    fn drain_and_ingest_preserve_contents() {
+        let mut a = DhtShard::new();
+        for i in 0..5 {
+            a.handle(DhtReq::Put {
+                logical: i % 2,
+                elem: elem(i),
+                reply_to: NodeId(0),
+                id: i,
+            });
+        }
+        let pairs = a.drain_all();
+        assert_eq!(pairs.len(), 5);
+        assert!(a.is_empty());
+        let mut b = DhtShard::new();
+        b.ingest(pairs);
+        assert_eq!(b.len(), 5);
+    }
+}

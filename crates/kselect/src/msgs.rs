@@ -1,0 +1,385 @@
+//! KSelect's message alphabet.
+//!
+//! Two families: *wave* traffic on the aggregation tree (down commands from
+//! the anchor, up responses toward it) and the *sorting sub-protocol* of
+//! Phase 2b (candidate placement, copy distribution over the induced de
+//! Bruijn trees, pairwise comparison rendezvous, and result propagation).
+//! Every message is O(log n) bits — Theorem 4.2's message-size claim — which
+//! the experiments verify by measuring `BitSize` on the wire.
+
+use dpq_core::bitsize::{tag_bits, vlq_bits};
+use dpq_core::{BitSize, Key, NodeId};
+use dpq_overlay::routing::{HopMsg, RouteMsg};
+
+fn key_bits(k: &Key) -> u64 {
+    k.bits()
+}
+
+/// Down-wave commands (anchor → leaves).
+#[derive(Debug, Clone)]
+pub enum Cmd {
+    /// Phase 1: compute the local ⌊k/n⌋-th / ⌈k/n⌉-th candidate bounds.
+    P1Bounds {
+        /// Current remaining rank v₀.k.
+        k: u64,
+        /// Number of nodes.
+        n: u64,
+    },
+    /// Phase 1: prune candidates outside `[pmin, pmax]`, report counts.
+    P1Prune {
+        /// Global minimum of the local lower bounds.
+        pmin: Key,
+        /// Global maximum of the local upper bounds.
+        pmax: Key,
+    },
+    /// Phase 2a / Phase 3 entry: optionally prune to the window decided in
+    /// the previous iteration, then sample candidates with probability
+    /// `prob` (1.0 in Phase 3).
+    Sample {
+        /// Sorting epoch this sample opens (scopes all sub-protocol state).
+        epoch: u64,
+        /// Window `[c_l, c_r]` decided by the previous iteration, if any.
+        prune: Option<(Key, Key)>,
+        /// Per-candidate selection probability (1.0 in Phase 3).
+        prob: f64,
+    },
+    /// Phase 2b: the subtree's slice of positions [1,n'] plus the orders of
+    /// interest (`lo`/`hi` are l and r in Phase 2, `lo == hi == k'` in
+    /// Phase 3).
+    Positions {
+        /// Sorting epoch.
+        epoch: u64,
+        /// Lower order of interest (0 = none).
+        lo: u64,
+        /// Upper order of interest (0 = none).
+        hi: u64,
+        /// First position of this subtree's slice.
+        first: u64,
+        /// Last position of this subtree's slice.
+        last: u64,
+        /// Global sample size n' (copy-tree roots distribute [1, n']).
+        n_prime: u64,
+    },
+    /// Phase 2c: count candidates strictly below `cl` / strictly above `cr`.
+    WindowCount {
+        /// The candidate at order l (or `Key::MIN` when l < 1).
+        cl: Key,
+        /// The candidate at order r (or `Key::MAX` when r > n').
+        cr: Key,
+    },
+    /// Final broadcast of the selected element's key.
+    Announce {
+        /// The rank-k key.
+        result: Key,
+    },
+}
+
+impl BitSize for Cmd {
+    fn bits(&self) -> u64 {
+        tag_bits(6)
+            + match self {
+                Cmd::P1Bounds { k, n } => vlq_bits(*k) + vlq_bits(*n),
+                Cmd::P1Prune { pmin, pmax } => key_bits(pmin) + key_bits(pmax),
+                Cmd::Sample {
+                    epoch,
+                    prune,
+                    prob: _,
+                } => {
+                    vlq_bits(*epoch)
+                        + 1
+                        + prune.map_or(0, |(a, b)| key_bits(&a) + key_bits(&b))
+                        + 64
+                }
+                Cmd::Positions {
+                    epoch,
+                    lo,
+                    hi,
+                    first,
+                    last,
+                    n_prime,
+                } => {
+                    vlq_bits(*epoch)
+                        + vlq_bits(*lo)
+                        + vlq_bits(*hi)
+                        + vlq_bits(*first)
+                        + vlq_bits(*last)
+                        + vlq_bits(*n_prime)
+                }
+                Cmd::WindowCount { cl, cr } => key_bits(cl) + key_bits(cr),
+                Cmd::Announce { result } => key_bits(result),
+            }
+    }
+}
+
+/// Up-wave responses (leaves → anchor), combined at every inner node.
+#[derive(Debug, Clone)]
+pub enum Rsp {
+    /// Phase 1: subtree min of local Pmins / max of local Pmaxs.
+    MinMax {
+        /// Subtree minimum of the ⌊k/n⌋-th local candidates.
+        pmin: Key,
+        /// Subtree maximum of the ⌈k/n⌉-th local candidates.
+        pmax: Key,
+    },
+    /// Phase 1 prune & Phase 2c: candidates removed/counted below & above.
+    Counts {
+        /// Candidates below the window in this subtree.
+        below: u64,
+        /// Candidates above the window in this subtree.
+        above: u64,
+    },
+    /// Phase 2a: number of sampled candidates in the subtree.
+    SampleCount {
+        /// Sampled-candidate count.
+        count: u64,
+    },
+    /// Phase 2b completion: the candidates whose computed order hit the
+    /// anchor's `lo` / `hi` orders of interest (at most one each, orders
+    /// being a permutation).
+    Hits {
+        /// The candidate whose order equals `lo`, once computed.
+        lo: Option<Key>,
+        /// The candidate whose order equals `hi`, once computed.
+        hi: Option<Key>,
+    },
+}
+
+impl BitSize for Rsp {
+    fn bits(&self) -> u64 {
+        tag_bits(4)
+            + match self {
+                Rsp::MinMax { pmin, pmax } => key_bits(pmin) + key_bits(pmax),
+                Rsp::Counts { below, above } => vlq_bits(*below) + vlq_bits(*above),
+                Rsp::SampleCount { count } => vlq_bits(*count),
+                Rsp::Hits { lo, hi } => {
+                    2 + lo.as_ref().map_or(0, key_bits) + hi.as_ref().map_or(0, key_bits)
+                }
+            }
+    }
+}
+
+/// A sampled candidate travelling to the node responsible for its position
+/// (routed to `hash(KSELECT_POS, pos)`).
+#[derive(Debug, Clone)]
+pub struct Place {
+    /// Sorting epoch.
+    pub epoch: u64,
+    /// Assigned position i ∈ [1, n'].
+    pub pos: u64,
+    /// The candidate's key.
+    pub key: Key,
+    /// The node that sampled the candidate — receives the computed order.
+    pub origin: NodeId,
+    /// Total number of sampled candidates (copies to distribute).
+    pub n_prime: u64,
+}
+
+impl BitSize for Place {
+    fn bits(&self) -> u64 {
+        vlq_bits(self.epoch)
+            + vlq_bits(self.pos)
+            + key_bits(&self.key)
+            + self.origin.bits()
+            + vlq_bits(self.n_prime)
+    }
+}
+
+/// A copy-range `([a,b], c_i)` travelling one de Bruijn hop down the induced
+/// tree T(v_i) (§4.3's recursive halving).
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Sorting epoch.
+    pub epoch: u64,
+    /// Candidate position i.
+    pub cand: u64,
+    /// The candidate's key (copied with every range).
+    pub key: Key,
+    /// Copy index range still to distribute: inclusive lower end.
+    pub a: u64,
+    /// Inclusive upper end of the range.
+    pub b: u64,
+    /// Copy-tree parent: where the aggregated comparison vector returns.
+    pub parent: NodeId,
+    /// The parent's own copy index (sentinel [`ROOT_PARENT`] at the root).
+    pub parent_copy: u64,
+}
+
+/// Sentinel `parent_copy` marking the root of a copy tree.
+pub const ROOT_PARENT: u64 = u64::MAX;
+
+impl BitSize for Split {
+    fn bits(&self) -> u64 {
+        vlq_bits(self.epoch)
+            + vlq_bits(self.cand)
+            + key_bits(&self.key)
+            + vlq_bits(self.a)
+            + vlq_bits(self.b)
+            + self.parent.bits()
+            + vlq_bits(self.parent_copy.min(1 << 62))
+    }
+}
+
+/// Copy c_{i,j} travelling to the rendezvous `h(i,j)`.
+#[derive(Debug, Clone)]
+pub struct Compare {
+    /// Sorting epoch.
+    pub epoch: u64,
+    /// Candidate position i.
+    pub cand: u64,
+    /// Copy index j.
+    pub copy: u64,
+    /// The candidate's key, compared at the rendezvous.
+    pub key: Key,
+    /// The copy holder v_{i,j}, receiving the comparison vector.
+    pub back: NodeId,
+}
+
+impl BitSize for Compare {
+    fn bits(&self) -> u64 {
+        vlq_bits(self.epoch)
+            + vlq_bits(self.cand)
+            + vlq_bits(self.copy)
+            + key_bits(&self.key)
+            + self.back.bits()
+    }
+}
+
+/// Everything a KSelect node sends or receives.
+#[derive(Debug, Clone)]
+pub enum KMsg {
+    /// Anchor → leaves wave command.
+    Down(Cmd),
+    /// Leaves → anchor combined response.
+    Up(Rsp),
+    /// Sorting: candidate → position owner.
+    Place(RouteMsg<Place>),
+    /// Sorting: copy-range hop down a copy tree.
+    Split(HopMsg<Split>),
+    /// Sorting: copy → rendezvous node.
+    Compare(RouteMsg<Compare>),
+    /// Rendezvous → copy holder: (smaller-than-me, larger-than-me) ∈ {0,1}².
+    CmpResult {
+        /// Sorting epoch.
+        epoch: u64,
+        /// Candidate position i.
+        cand: u64,
+        /// Copy index j.
+        copy: u64,
+        /// 1 if the compared candidate is smaller than candidate i.
+        smaller: u64,
+        /// 1 if the compared candidate is larger than candidate i.
+        larger: u64,
+    },
+    /// Copy-tree child → parent: aggregated comparison vector.
+    CopyAgg {
+        /// Sorting epoch.
+        epoch: u64,
+        /// Candidate position i.
+        cand: u64,
+        /// The parent's own copy index (locates its `CopyState`).
+        parent_copy: u64,
+        /// Subtree total of smaller-than-i verdicts.
+        smaller: u64,
+        /// Subtree total of larger-than-i verdicts.
+        larger: u64,
+    },
+    /// Position owner → sampling origin: the candidate's computed order.
+    Order {
+        /// Sorting epoch.
+        epoch: u64,
+        /// The candidate's key.
+        key: Key,
+        /// Its order within the sample: (#smaller) + 1.
+        order: u64,
+    },
+}
+
+impl BitSize for KMsg {
+    fn bits(&self) -> u64 {
+        tag_bits(8)
+            + match self {
+                KMsg::Down(c) => c.bits(),
+                KMsg::Up(r) => r.bits(),
+                KMsg::Place(m) => m.bits(),
+                KMsg::Split(m) => m.bits(),
+                KMsg::Compare(m) => m.bits(),
+                KMsg::CmpResult {
+                    epoch,
+                    cand,
+                    copy,
+                    smaller,
+                    larger,
+                } => {
+                    vlq_bits(*epoch)
+                        + vlq_bits(*cand)
+                        + vlq_bits(*copy)
+                        + vlq_bits(*smaller)
+                        + vlq_bits(*larger)
+                }
+                KMsg::CopyAgg {
+                    epoch,
+                    cand,
+                    parent_copy,
+                    smaller,
+                    larger,
+                } => {
+                    vlq_bits(*epoch)
+                        + vlq_bits(*cand)
+                        + vlq_bits((*parent_copy).min(1 << 62))
+                        + vlq_bits(*smaller)
+                        + vlq_bits(*larger)
+                }
+                KMsg::Order { epoch, key, order } => {
+                    vlq_bits(*epoch) + key_bits(key) + vlq_bits(*order)
+                }
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpq_core::{ElemId, Priority};
+
+    #[test]
+    fn all_messages_are_logarithmic_sized() {
+        // Theorem 4.2: O(log n) bit messages. Every variant with "large"
+        // contents (big counts, big ids) must stay well under a kilobit.
+        let key = Key::new(Priority(1 << 50), ElemId(1 << 60));
+        let msgs = [
+            KMsg::Down(Cmd::P1Bounds {
+                k: 1 << 50,
+                n: 1 << 20,
+            }),
+            KMsg::Down(Cmd::P1Prune {
+                pmin: key,
+                pmax: key,
+            }),
+            KMsg::Down(Cmd::Sample {
+                epoch: 1000,
+                prune: Some((key, key)),
+                prob: 0.5,
+            }),
+            KMsg::Up(Rsp::MinMax {
+                pmin: key,
+                pmax: key,
+            }),
+            KMsg::Up(Rsp::Counts {
+                below: 1 << 40,
+                above: 1 << 40,
+            }),
+            KMsg::Up(Rsp::Hits {
+                lo: Some(key),
+                hi: Some(key),
+            }),
+            KMsg::Order {
+                epoch: 10,
+                key,
+                order: 1 << 30,
+            },
+        ];
+        for m in &msgs {
+            assert!(m.bits() < 1024, "{m:?} is {} bits", m.bits());
+        }
+    }
+}

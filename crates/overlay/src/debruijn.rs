@@ -1,0 +1,130 @@
+//! The classical d-dimensional de Bruijn graph (Definition 2.1).
+//!
+//! Nodes are bitstrings `(x₁,…,x_d) ∈ {0,1}^d`; edges prepend a bit:
+//! `(x₁,…,x_d) → (j, x₁,…,x_{d−1})`. Routing from s to t adjusts exactly d
+//! bits by prepending t's bits from last to first (§2.1). The LDB of
+//! Appendix A emulates this graph; the module exists as the reference object
+//! for tests and for the copy-distribution trees of KSelect Phase 2b, whose
+//! recursion follows these bitstrings.
+
+/// A node of the d-dimensional de Bruijn graph, stored with `x₁` as the most
+/// significant of the low `d` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitString {
+    /// The coordinates packed with x₁ as the most significant of the low d bits.
+    pub bits: u64,
+    /// Dimension.
+    pub d: u32,
+}
+
+impl BitString {
+    /// A d-dimensional node from packed bits.
+    pub fn new(bits: u64, d: u32) -> Self {
+        debug_assert!(d <= 63 && (d == 0 || bits < (1 << d)));
+        BitString { bits, d }
+    }
+
+    /// The out-neighbour reached by prepending `j` (Definition 2.1's edge
+    /// `(x₁,…,x_d) → (j, x₁,…,x_{d−1})`).
+    pub fn prepend(self, j: bool) -> BitString {
+        let shifted = self.bits >> 1;
+        let top = (j as u64) << (self.d - 1);
+        BitString::new(top | shifted, self.d)
+    }
+
+    /// The i-th coordinate x_i (1-based, x₁ most significant).
+    pub fn coord(self, i: u32) -> bool {
+        debug_assert!(1 <= i && i <= self.d);
+        (self.bits >> (self.d - i)) & 1 == 1
+    }
+
+    /// The point of [0,1) this bitstring truncates: `0.x₁x₂…x_d` in binary.
+    pub fn to_unit(self) -> f64 {
+        self.bits as f64 / (1u64 << self.d) as f64
+    }
+
+    /// The d-bit truncation of a point of [0,1).
+    pub fn from_unit(x: f64, d: u32) -> BitString {
+        debug_assert!((0.0..1.0).contains(&x));
+        BitString::new((x * (1u64 << d) as f64) as u64 & ((1 << d) - 1), d)
+    }
+}
+
+/// The routing path from `s` to `t`: prepend t's bits t_d, t_{d−1}, …, t₁
+/// (§2.1 example). Exactly d hops; returns the d+1 visited nodes.
+pub fn route(s: BitString, t: BitString) -> Vec<BitString> {
+    debug_assert_eq!(s.d, t.d);
+    let mut path = vec![s];
+    let mut cur = s;
+    for i in (1..=t.d).rev() {
+        cur = cur.prepend(t.coord(i));
+        path.push(cur);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_d3_path() {
+        // §2.1: route from s=(s1,s2,s3) to t=(t1,t2,t3) via
+        // ((s1,s2,s3),(t3,s1,s2),(t2,t3,s1),(t1,t2,t3)).
+        let s = BitString::new(0b101, 3);
+        let t = BitString::new(0b011, 3);
+        let path = route(s, t);
+        assert_eq!(path.len(), 4);
+        // (t3,s1,s2) = (1,1,0)
+        assert_eq!(path[1], BitString::new(0b110, 3));
+        // (t2,t3,s1) = (1,1,1)
+        assert_eq!(path[2], BitString::new(0b111, 3));
+        assert_eq!(path[3], t);
+    }
+
+    #[test]
+    fn route_always_reaches_target() {
+        let d = 6;
+        for s in 0..(1u64 << d) {
+            for t in [0, 7, 33, 63] {
+                let path = route(BitString::new(s, d), BitString::new(t, d));
+                assert_eq!(path.last().unwrap().bits, t);
+                assert_eq!(path.len() as u32, d + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn prepend_matches_edge_definition() {
+        // (x1,x2,x3) -> (j,x1,x2)
+        let x = BitString::new(0b110, 3);
+        assert_eq!(x.prepend(false), BitString::new(0b011, 3));
+        assert_eq!(x.prepend(true), BitString::new(0b111, 3));
+    }
+
+    #[test]
+    fn coords_read_msb_first() {
+        let x = BitString::new(0b100, 3);
+        assert!(x.coord(1));
+        assert!(!x.coord(2));
+        assert!(!x.coord(3));
+    }
+
+    #[test]
+    fn unit_roundtrip() {
+        let x = BitString::new(0b0110, 4);
+        assert_eq!(BitString::from_unit(x.to_unit(), 4), x);
+        assert!((x.to_unit() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_node_has_exactly_two_out_neighbours() {
+        let d = 4;
+        for b in 0..(1u64 << d) {
+            let x = BitString::new(b, d);
+            let n0 = x.prepend(false);
+            let n1 = x.prepend(true);
+            assert_ne!(n0, n1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Join and Leave (§1.4(4)).
+//!
+//! The paper handles Join()/Leave() "exactly the same as in Skueue" — lazily:
+//! the joining/leaving node is spliced into/out of the sorted cycle in a
+//! constant number of rounds, and topology restoration (tree links are
+//! locally derivable from the new pred/succ pointers) completes within
+//! O(log n) rounds w.h.p. for whole batches.
+//!
+//! We implement the functional equivalent over [`Topology`]: locating the
+//! join position costs one de Bruijn point-route (O(log n) hops, measured),
+//! the splice itself updates a constant number of pred/succ links, and the
+//! leaving node hands its managed key segments to cycle neighbours. Element
+//! handover accounting lives in `dpq-dht`, which owns the stored data.
+
+use crate::ldb::Topology;
+use crate::routing::route_path;
+use crate::tree;
+use dpq_core::hashing::{domains, hash_to_unit, split_mix64};
+use dpq_core::NodeId;
+
+/// Cost accounting for one membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipStats {
+    /// Message hops to locate the splice position (join) or to notify the
+    /// anchor (leave) — the O(log n) part.
+    pub locate_hops: usize,
+    /// Pointer updates on the cycle: each of the node's 3 virtual nodes
+    /// acquires/loses a pred and a succ — constant.
+    pub splice_links: usize,
+}
+
+/// Derive the middle label a joining node of identifier `id` would hash to.
+pub fn join_label(seed: u64, id: u64) -> f64 {
+    hash_to_unit(domains::LABEL, split_mix64(seed) ^ split_mix64(id))
+}
+
+/// Join a new node (it becomes `NodeId(n)` of the returned topology).
+///
+/// `gateway` is the existing node the joiner contacts; the join request is
+/// routed from there to the manager of the new middle label.
+pub fn join(topo: &Topology, gateway: NodeId, new_middle: f64) -> (Topology, MembershipStats) {
+    let (path, _) = route_path(topo, gateway, new_middle);
+    let mut middles = topo.middles().to_vec();
+    middles.push(new_middle);
+    let next = Topology::from_middles(middles);
+    debug_assert!(tree::validate(&next).is_ok());
+    (
+        next,
+        MembershipStats {
+            locate_hops: path.len() - 1,
+            // 3 virtual nodes × (pred + succ) on both sides of each splice.
+            splice_links: 6,
+        },
+    )
+}
+
+/// Remove the node with the **largest index** (callers renumber; the
+/// simulator's dense ids make arbitrary-id removal a relabelling concern,
+/// not a protocol one). Returns the new topology and the splice cost; the
+/// key-range handover this implies is exercised by `dpq-dht`'s tests.
+pub fn leave_last(topo: &Topology) -> (Topology, MembershipStats) {
+    let mut middles = topo.middles().to_vec();
+    assert!(middles.len() >= 2, "cannot remove the last node");
+    middles.pop();
+    let next = Topology::from_middles(middles);
+    debug_assert!(tree::validate(&next).is_ok());
+    (
+        next,
+        MembershipStats {
+            locate_hops: 0,
+            splice_links: 6,
+        },
+    )
+}
+
+/// The key segments (sub-intervals of [0,1)) a node's virtual nodes manage.
+/// A leaving node hands exactly these to the predecessors of its virtual
+/// nodes; a joiner takes them over from its successors.
+pub fn managed_segments(topo: &Topology, v: NodeId) -> Vec<(f64, f64)> {
+    use crate::ldb::{VirtId, VirtKind};
+    VirtKind::ALL
+        .iter()
+        .map(|&k| {
+            let id = VirtId::new(v, k);
+            (topo.label(id), topo.succ(id).label)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_grows_and_validates() {
+        let t = Topology::new(10, 31);
+        let (t2, stats) = join(&t, NodeId(0), 0.123456);
+        assert_eq!(t2.n(), 11);
+        assert_eq!(stats.splice_links, 6);
+        tree::validate(&t2).unwrap();
+    }
+
+    #[test]
+    fn join_locate_cost_is_logarithmic() {
+        let mut t = Topology::new(256, 32);
+        let mut total = 0usize;
+        for i in 0..20 {
+            let label = join_label(99, 1_000 + i);
+            let (t2, stats) = join(&t, NodeId(i % 256), label);
+            total += stats.locate_hops;
+            t = t2;
+        }
+        let avg = total as f64 / 20.0;
+        assert!(avg < 12.0 * (256f64).log2(), "avg locate hops {avg}");
+    }
+
+    #[test]
+    fn leave_shrinks_and_validates() {
+        let t = Topology::new(12, 33);
+        let (t2, _) = leave_last(&t);
+        assert_eq!(t2.n(), 11);
+        tree::validate(&t2).unwrap();
+    }
+
+    #[test]
+    fn churn_storm_keeps_tree_valid() {
+        let mut t = Topology::new(8, 34);
+        for i in 0..30u64 {
+            if i % 3 == 2 && t.n() > 4 {
+                t = leave_last(&t).0;
+            } else {
+                t = join(&t, NodeId(0), join_label(7, 500 + i)).0;
+            }
+            tree::validate(&t).unwrap();
+        }
+        assert!(t.n() > 8);
+    }
+
+    #[test]
+    fn segments_cover_the_circle() {
+        let t = Topology::new(9, 35);
+        let mut segs: Vec<(f64, f64)> = (0..9u64)
+            .flat_map(|v| managed_segments(&t, NodeId(v)))
+            .collect();
+        segs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Consecutive segments chain: each ends where the next begins, and
+        // the last wraps to the first.
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        assert_eq!(segs.last().unwrap().1, segs[0].0);
+    }
+}

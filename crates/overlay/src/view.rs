@@ -1,0 +1,151 @@
+//! Per-node local views.
+//!
+//! A real process in the paper's model knows only its own state: its three
+//! virtual nodes, their cycle neighbours (`pred`/`succ` variables, Appendix
+//! A), and its parent/children in the aggregation tree — all locally
+//! derivable. [`NodeView`] packages exactly that knowledge; protocol state
+//! machines receive a `NodeView` at construction and nothing else about the
+//! topology, which keeps the implementations honest about locality.
+
+use crate::ldb::{Topology, VirtId, VirtKind};
+use crate::tree;
+use dpq_core::NodeId;
+
+/// What a node knows about one of its own virtual nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct VirtView {
+    /// Which virtual node this view describes.
+    pub id: VirtId,
+    /// Its label.
+    pub label: f64,
+    /// Cycle predecessor.
+    pub pred: VirtId,
+    /// The predecessor's label.
+    pub pred_label: f64,
+    /// Cycle successor.
+    pub succ: VirtId,
+    /// The successor's label.
+    pub succ_label: f64,
+}
+
+impl VirtView {
+    /// Local ownership test: does this virtual node manage point `x`?
+    /// (the DHT rule `v ≤ x < succ(v)`, wrapping at the cycle ends).
+    pub fn manages(&self, x: f64) -> bool {
+        if self.label < self.succ_label {
+            self.label <= x && x < self.succ_label
+        } else {
+            x >= self.label || x < self.succ_label
+        }
+    }
+}
+
+/// The complete local knowledge of one real node.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// This node's id.
+    pub me: NodeId,
+    /// Total number of real nodes. The paper's nodes learn n via a single
+    /// aggregation phase (§2.2); we hand it out at construction.
+    pub n: usize,
+    /// Left/middle/right virtual views, indexed by `VirtKind::index()`.
+    pub virts: [VirtView; 3],
+    /// Parent in the contracted aggregation tree (`None` at the anchor).
+    pub parent: Option<NodeId>,
+    /// Children in the contracted aggregation tree (≤ 2).
+    pub children: Vec<NodeId>,
+    /// Number of de Bruijn bits used by point routing.
+    pub route_bits: u32,
+}
+
+impl NodeView {
+    /// Extract the view of `v` from a built topology.
+    pub fn extract(topo: &Topology, v: NodeId) -> NodeView {
+        let virts = [VirtKind::Left, VirtKind::Middle, VirtKind::Right].map(|kind| {
+            let id = VirtId::new(v, kind);
+            let pred = topo.pred(id);
+            let succ = topo.succ(id);
+            VirtView {
+                id,
+                label: topo.label(id),
+                pred: pred.id,
+                pred_label: pred.label,
+                succ: succ.id,
+                succ_label: succ.label,
+            }
+        });
+        NodeView {
+            me: v,
+            n: topo.n(),
+            virts,
+            parent: tree::real_parent(topo, v),
+            children: tree::real_children(topo, v),
+            route_bits: topo.route_bits(),
+        }
+    }
+
+    /// Extract views for every node.
+    pub fn extract_all(topo: &Topology) -> Vec<NodeView> {
+        (0..topo.n() as u64)
+            .map(|i| NodeView::extract(topo, NodeId(i)))
+            .collect()
+    }
+
+    /// The view of one of this node's own virtual nodes.
+    pub fn virt(&self, kind: VirtKind) -> &VirtView {
+        &self.virts[kind.index()]
+    }
+
+    /// Is this node the aggregation-tree root?
+    pub fn is_anchor(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Which of my virtual nodes (if any) manages point `x`.
+    pub fn managing_virt(&self, x: f64) -> Option<VirtId> {
+        self.virts.iter().find(|vv| vv.manages(x)).map(|vv| vv.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldb::Topology;
+
+    #[test]
+    fn views_agree_with_topology() {
+        let t = Topology::new(20, 11);
+        for v in 0..20u64 {
+            let view = NodeView::extract(&t, NodeId(v));
+            for vv in &view.virts {
+                assert_eq!(vv.label, t.label(vv.id));
+                assert_eq!(vv.succ, t.succ(vv.id).id);
+                assert_eq!(vv.pred, t.pred(vv.id).id);
+            }
+            assert_eq!(view.parent, tree::real_parent(&t, NodeId(v)));
+            assert_eq!(view.children, tree::real_children(&t, NodeId(v)));
+        }
+    }
+
+    #[test]
+    fn exactly_one_anchor() {
+        let t = Topology::new(33, 12);
+        let anchors = NodeView::extract_all(&t)
+            .iter()
+            .filter(|v| v.is_anchor())
+            .count();
+        assert_eq!(anchors, 1);
+    }
+
+    #[test]
+    fn local_manages_matches_global_manager() {
+        let t = Topology::new(15, 13);
+        let views = NodeView::extract_all(&t);
+        for i in 0..300 {
+            let x = (i as f64 + 0.3) / 300.0;
+            let global = t.manager_of(x);
+            let local: Vec<_> = views.iter().filter_map(|v| v.managing_virt(x)).collect();
+            assert_eq!(local, vec![global]);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the LDB and its derived structures: whatever the
+//! labels, the cycle must be a cycle, the tree a tree, routing must reach
+//! the manager, and membership changes must preserve it all.
+
+use dpq_core::NodeId;
+use dpq_overlay::{membership, route_path, tree, Topology, VirtKind};
+use proptest::prelude::*;
+
+/// Distinct middle labels in (0,1).
+fn arb_middles(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::btree_set(1u32..u32::MAX, 1..max_n)
+        .prop_map(|s| s.into_iter().map(|v| v as f64 / u32::MAX as f64).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cycle_and_tree_invariants_hold_for_any_labels(middles in arb_middles(40)) {
+        let topo = Topology::from_middles(middles.clone());
+        // pred/succ are inverse bijections around the ring.
+        for vn in topo.ring() {
+            prop_assert_eq!(topo.succ(topo.pred(vn.id).id).id, vn.id);
+        }
+        // The aggregation tree spans everything with ≤2 children per node.
+        prop_assert!(tree::validate(&topo).is_ok());
+        // Left/right labels live in their halves.
+        for vn in topo.ring() {
+            match vn.id.kind {
+                VirtKind::Left => prop_assert!(vn.label < 0.5),
+                VirtKind::Right => prop_assert!(vn.label >= 0.5),
+                VirtKind::Middle => {}
+            }
+        }
+    }
+
+    #[test]
+    fn routing_always_reaches_the_manager(
+        middles in arb_middles(30),
+        from_raw in 0usize..30,
+        target_raw in 0u32..u32::MAX,
+    ) {
+        let topo = Topology::from_middles(middles);
+        let from = NodeId((from_raw % topo.n()) as u64);
+        let target = target_raw as f64 / u32::MAX as f64;
+        let (path, at) = route_path(&topo, from, target);
+        prop_assert_eq!(at, topo.manager_of(target));
+        // Never more hops than a full ring walk plus the de Bruijn phase.
+        prop_assert!(path.len() <= 4 * 3 * topo.n() + 64);
+    }
+
+    #[test]
+    fn join_then_leave_roundtrips_the_label_multiset(
+        middles in arb_middles(20),
+        new_label_raw in 1u32..u32::MAX,
+    ) {
+        let topo = Topology::from_middles(middles.clone());
+        let new_label = new_label_raw as f64 / u32::MAX as f64;
+        prop_assume!(!middles.contains(&new_label));
+        let (grown, _) = membership::join(&topo, NodeId(0), new_label);
+        prop_assert_eq!(grown.n(), topo.n() + 1);
+        prop_assert!(tree::validate(&grown).is_ok());
+        let (shrunk, _) = membership::leave_last(&grown);
+        prop_assert_eq!(shrunk.middles(), topo.middles());
+    }
+
+    #[test]
+    fn depths_are_consistent_with_parents(middles in arb_middles(40)) {
+        let topo = Topology::from_middles(middles);
+        let depths = tree::real_depths(&topo);
+        for v in 0..topo.n() {
+            let v = NodeId(v as u64);
+            match tree::real_parent(&topo, v) {
+                None => prop_assert_eq!(depths[v.index()], 0),
+                Some(p) => {
+                    prop_assert_eq!(depths[v.index()], depths[p.index()] + 1)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Phase-aware serializability checking for Seap (Lemma 5.2).
+//!
+//! Seap's witness values encode `phase << 32 | offset`. Within an insert
+//! phase the paper fixes "a randomly chosen permutation" — any order works;
+//! within a delete phase the serial order SD sorts deletes by the position
+//! of the element they consumed, which (because positions biject with the
+//! k smallest elements) is equivalent to ordering matched deletes by the
+//! *key of the element returned*, with ⊥ answers last. The checker builds
+//! exactly that refined total order and hands it to the generic replay and
+//! heap-property checkers — a successful replay constructs the serial
+//! execution required by Definition 1.1.
+
+use crate::node::witness_phase;
+use dpq_core::{History, OpKind, OpReturn};
+use dpq_semantics::{check_heap_properties, replay, ReplayMode, Violation};
+
+/// Check serializability + heap consistency of a completed Seap history.
+pub fn check_seap_history(history: &History) -> Result<(), Violation> {
+    // Collect (phase, sort-key, node, seq) for every completed op.
+    let mut order: Vec<(u64, u64, dpq_core::Key, dpq_core::OpId)> = Vec::new();
+    for r in history.records() {
+        let Some(ret) = r.ret else {
+            return Err(Violation::Incomplete(r.id));
+        };
+        let Some(w) = r.witness else {
+            return Err(Violation::MissingWitness(r.id));
+        };
+        let phase = witness_phase(w);
+        // Sanity: insert phases are even, delete phases odd.
+        match (r.kind, phase % 2) {
+            (OpKind::Insert(_), 0) | (OpKind::DeleteMin, 1) => {}
+            _ => {
+                return Err(Violation::ReplayMismatch {
+                    op: r.id,
+                    expected: "op in matching phase parity".into(),
+                    recorded: format!("{:?} in phase {phase}", r.kind),
+                })
+            }
+        }
+        // Refined within-phase rank: inserts keep their witness offset;
+        // matched deletes order by returned key; ⊥ deletes come last.
+        let (class, key) = match ret {
+            OpReturn::Inserted => (0u64, dpq_core::Key::MIN),
+            OpReturn::Removed(e) => (0, e.key()),
+            OpReturn::Bottom => (1, dpq_core::Key::MAX),
+        };
+        let tiebreak =
+            dpq_core::Key::new(dpq_core::Priority(class), dpq_core::ElemId(w & 0xFFFF_FFFF));
+        let sort_key = if r.kind.is_insert() {
+            dpq_core::Key::new(dpq_core::Priority(0), dpq_core::ElemId(w & 0xFFFF_FFFF))
+        } else if class == 0 {
+            key
+        } else {
+            tiebreak
+        };
+        order.push((phase, class, sort_key, r.id));
+    }
+    order.sort();
+
+    // Rebuild a history clone with refined witnesses 1..N.
+    let mut refined = history.clone();
+    for (i, (_, _, _, id)) in order.iter().enumerate() {
+        refined.nodes[id.node.index()].ops[id.seq as usize].witness = Some(i as u64 + 1);
+    }
+    replay(&refined, ReplayMode::KeyOrder)?;
+    check_heap_properties(&refined).map_err(|e| Violation::BadMatching(e.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpq_core::{ElemId, Element, NodeId, OpKind, Priority};
+
+    fn elem(seq: u64, prio: u64) -> Element {
+        Element::new(ElemId::compose(NodeId(0), seq), Priority(prio), 0)
+    }
+
+    /// Hand-build a history with Seap-style witnesses
+    /// (`phase << 32 | offset`).
+    fn hist(entries: &[(OpKind, OpReturn, u64, u64)]) -> History {
+        let mut h = History::new(1);
+        for (kind, ret, phase, off) in entries {
+            let v = NodeId(0);
+            let id = h.node(v).issue(v, *kind);
+            h.node(v).complete(id, *ret);
+            h.node(v).witness(id, (phase << 32) | off);
+        }
+        h
+    }
+
+    #[test]
+    fn clean_phase_structure_passes() {
+        let a = elem(0, 5);
+        let b = elem(1, 2);
+        let h = hist(&[
+            // Insert phase 0, both elements.
+            (OpKind::Insert(a), OpReturn::Inserted, 0, 0),
+            (OpKind::Insert(b), OpReturn::Inserted, 0, 1),
+            // Delete phase 1: b (smaller key) and a, recorded out of
+            // witness order — the checker must reorder by returned key.
+            (OpKind::DeleteMin, OpReturn::Removed(a), 1, 0),
+            (OpKind::DeleteMin, OpReturn::Removed(b), 1, 1),
+            // Phase 3: ⊥ on the empty heap.
+            (OpKind::DeleteMin, OpReturn::Bottom, 3, 0),
+        ]);
+        check_seap_history(&h).unwrap();
+    }
+
+    #[test]
+    fn wrong_phase_parity_is_rejected() {
+        let a = elem(0, 5);
+        let h = hist(&[(OpKind::Insert(a), OpReturn::Inserted, 1, 0)]);
+        assert!(check_seap_history(&h).is_err());
+    }
+
+    #[test]
+    fn delete_before_matching_insert_phase_is_rejected() {
+        let a = elem(0, 5);
+        let h = hist(&[
+            // Delete in phase 1 returns an element only inserted in phase 2.
+            (OpKind::DeleteMin, OpReturn::Removed(a), 1, 0),
+            (OpKind::Insert(a), OpReturn::Inserted, 2, 0),
+        ]);
+        assert!(check_seap_history(&h).is_err());
+    }
+
+    #[test]
+    fn skipping_the_minimum_is_rejected() {
+        let small = elem(0, 1);
+        let big = elem(1, 9);
+        let h = hist(&[
+            (OpKind::Insert(small), OpReturn::Inserted, 0, 0),
+            (OpKind::Insert(big), OpReturn::Inserted, 0, 1),
+            // A single delete takes the *larger* element: heap violation.
+            (OpKind::DeleteMin, OpReturn::Removed(big), 1, 0),
+        ]);
+        assert!(check_seap_history(&h).is_err());
+    }
+
+    #[test]
+    fn bottom_on_nonempty_heap_is_rejected() {
+        let a = elem(0, 5);
+        let h = hist(&[
+            (OpKind::Insert(a), OpReturn::Inserted, 0, 0),
+            (OpKind::DeleteMin, OpReturn::Bottom, 1, 0),
+            (OpKind::DeleteMin, OpReturn::Removed(a), 3, 0),
+        ]);
+        assert!(check_seap_history(&h).is_err());
+    }
+
+    #[test]
+    fn incomplete_history_is_rejected() {
+        let mut h = History::new(1);
+        let v = NodeId(0);
+        h.node(v).issue(v, OpKind::DeleteMin);
+        assert!(matches!(
+            check_seap_history(&h),
+            Err(Violation::Incomplete(_))
+        ));
+    }
+}

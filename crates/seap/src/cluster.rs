@@ -1,0 +1,72 @@
+//! Driver helpers for Seap clusters.
+
+use crate::node::{SeapConfig, SeapNode};
+use dpq_core::workload::WorkloadSpec;
+use dpq_core::{History, OpKind};
+use dpq_overlay::{NodeView, Topology};
+use dpq_sim::{AsyncScheduler, MetricsSnapshot, SyncScheduler};
+
+/// Build the `n` protocol nodes of a Seap instance.
+pub fn build(n: usize, seed: u64) -> Vec<SeapNode> {
+    let topo = Topology::new(n, seed);
+    SeapNode::build_cluster(NodeView::extract_all(&topo), SeapConfig::new(seed))
+}
+
+/// Issue every op of a per-node script up front.
+pub fn inject_all(nodes: &mut [SeapNode], scripts: &[Vec<OpKind>]) {
+    for (node, script) in nodes.iter_mut().zip(scripts) {
+        for op in script {
+            match op {
+                OpKind::Insert(e) => {
+                    node.issue_insert(e.prio.0, e.payload);
+                }
+                OpKind::DeleteMin => {
+                    node.issue_delete();
+                }
+            }
+        }
+    }
+}
+
+/// Collect the merged history of a cluster.
+pub fn history(nodes: &[SeapNode]) -> History {
+    History::merge(nodes.iter().map(|n| n.history.clone()).collect())
+}
+
+/// Outcome of a completed synchronous run.
+#[derive(Debug, Clone)]
+pub struct SyncRun {
+    /// Merged per-node histories.
+    pub history: History,
+    /// Run metrics.
+    pub metrics: MetricsSnapshot,
+    /// Rounds until every request completed (or the budget).
+    pub rounds: u64,
+    /// Did every request complete within the budget?
+    pub completed: bool,
+}
+
+/// Run a full workload synchronously until every request has completed.
+pub fn run_sync(spec: &WorkloadSpec, max_rounds: u64) -> SyncRun {
+    let mut nodes = build(spec.n, spec.seed);
+    let scripts = dpq_core::workload::generate(spec);
+    inject_all(&mut nodes, &scripts);
+    let mut sched = SyncScheduler::new(nodes);
+    let out = sched.run_until_pred(max_rounds, |ns| ns.iter().all(SeapNode::all_complete));
+    SyncRun {
+        history: history(sched.nodes()),
+        metrics: sched.metrics.snapshot(),
+        rounds: out.rounds(),
+        completed: out.is_quiescent(),
+    }
+}
+
+/// Run a full workload under the asynchronous adversary.
+pub fn run_async(spec: &WorkloadSpec, sched_seed: u64, max_steps: u64) -> Option<History> {
+    let mut nodes = build(spec.n, spec.seed);
+    let scripts = dpq_core::workload::generate(spec);
+    inject_all(&mut nodes, &scripts);
+    let mut sched = AsyncScheduler::new(nodes, sched_seed);
+    let ok = sched.run_until_pred(max_steps, |ns| ns.iter().all(SeapNode::all_complete));
+    ok.then(|| history(sched.nodes()))
+}

@@ -1,0 +1,22 @@
+//! # dpq-semantics
+//!
+//! Checkers for the paper's semantic guarantees over recorded execution
+//! histories:
+//!
+//! * **Serializability / sequential consistency** (Definition 1.1) via
+//!   [`replay()`](replay::replay): the protocol hands every operation a *witness* — its
+//!   position in the claimed total order ≺ — and the checker replays ≺ on a
+//!   sequential reference heap, demanding identical returns. A successful
+//!   replay *constructs* the equivalent serial execution; adding the
+//!   per-node witness-monotonicity check upgrades the verdict to sequential
+//!   consistency.
+//! * **Heap consistency** (Definition 1.2) via [`heap_props`]: the three
+//!   properties checked literally against ≺ and the matching M.
+
+#![warn(missing_docs)]
+
+pub mod heap_props;
+pub mod replay;
+
+pub use heap_props::check_heap_properties;
+pub use replay::{check_local_consistency, check_witnesses, replay, ReplayMode, Violation};

@@ -1,0 +1,32 @@
+//! # dpq-sim
+//!
+//! Deterministic message-passing simulator implementing exactly the two
+//! execution models of the paper (§1.1):
+//!
+//! * the **asynchronous message passing model** used for correctness —
+//!   channels hold arbitrarily many messages, delivery is delayed by an
+//!   arbitrary finite amount, non-FIFO, never lost or duplicated, with fair
+//!   receipt ([`AsyncScheduler`]);
+//! * the **standard synchronous model** used for performance analysis only —
+//!   time proceeds in rounds, messages sent in round *i* are processed in
+//!   round *i+1*, and each node is activated once per round
+//!   ([`SyncScheduler`]).
+//!
+//! Protocols are state machines implementing [`Protocol`]; the scheduler
+//! owns one instance per node and drives it through message deliveries and
+//! activations. All randomness is seeded ([`dpq_core::DetRng`]), so every
+//! run replays bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod metrics;
+pub mod protocol;
+pub mod sched_async;
+pub mod sched_sync;
+
+pub use envelope::Envelope;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{Ctx, Protocol};
+pub use sched_async::{AsyncConfig, AsyncScheduler};
+pub use sched_sync::{RunOutcome, SyncScheduler};

@@ -1,0 +1,159 @@
+//! Run metrics: rounds, congestion, message counts and sizes.
+//!
+//! The paper's cost measures (§1.1): *rounds* until an operation batch
+//! completes, *congestion* — "the maximum number of messages that need to be
+//! handled by a node in one round" — and per-message *bit size* (Lemmas 3.8,
+//! 5.5, Theorem 4.2). The schedulers update a [`Metrics`] instance as they
+//! run; experiments read a [`MetricsSnapshot`] afterwards.
+
+/// Mutable counters owned by a scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Rounds elapsed (synchronous scheduler only; async counts steps).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total payload bits delivered.
+    pub total_bits: u64,
+    /// Largest single message, in bits.
+    pub max_msg_bits: u64,
+    /// Max over (node, round) of messages handled — the paper's congestion.
+    pub congestion: u64,
+    /// Messages handled per node in the *current* round (scratch space).
+    per_node_this_round: Vec<u64>,
+}
+
+impl Metrics {
+    /// Fresh counters for an `n`-node run.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_node_this_round: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Record a delivery to `node_index` in the current round.
+    #[inline]
+    pub fn on_deliver(&mut self, node_index: usize, bits: u64) {
+        self.messages += 1;
+        self.total_bits += bits;
+        self.max_msg_bits = self.max_msg_bits.max(bits);
+        let c = &mut self.per_node_this_round[node_index];
+        *c += 1;
+        if *c > self.congestion {
+            self.congestion = *c;
+        }
+    }
+
+    /// Close the current round: bump the round counter and reset the
+    /// per-node tallies.
+    pub fn end_round(&mut self) {
+        self.rounds += 1;
+        self.per_node_this_round.fill(0);
+    }
+
+    /// Immutable copy of the current counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rounds: self.rounds,
+            messages: self.messages,
+            total_bits: self.total_bits,
+            max_msg_bits: self.max_msg_bits,
+            congestion: self.congestion,
+        }
+    }
+
+    /// Forget everything but keep the node count (used to measure a window
+    /// of a longer run, e.g. one Skeap batch cycle after warm-up).
+    pub fn reset(&mut self) {
+        let n = self.per_node_this_round.len();
+        *self = Metrics::new(n);
+    }
+}
+
+/// Immutable view of a run's costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Rounds elapsed.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total payload bits delivered.
+    pub total_bits: u64,
+    /// Largest single message in bits.
+    pub max_msg_bits: u64,
+    /// Max messages handled by one node in one round.
+    pub congestion: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference of two snapshots of the same run (later minus earlier) for
+    /// the monotone counters; max-type measures are taken from `self`
+    /// (callers measuring a window should `reset()` instead when they need
+    /// windowed maxima).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rounds: self.rounds - earlier.rounds,
+            messages: self.messages - earlier.messages,
+            total_bits: self.total_bits - earlier.total_bits,
+            max_msg_bits: self.max_msg_bits,
+            congestion: self.congestion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congestion_tracks_per_round_maximum() {
+        let mut m = Metrics::new(3);
+        m.on_deliver(0, 10);
+        m.on_deliver(0, 10);
+        m.on_deliver(1, 10);
+        assert_eq!(m.congestion, 2);
+        m.end_round();
+        // New round: node 0 handles one message; max stays 2.
+        m.on_deliver(0, 10);
+        assert_eq!(m.congestion, 2);
+        m.on_deliver(2, 10);
+        m.on_deliver(2, 10);
+        m.on_deliver(2, 10);
+        assert_eq!(m.congestion, 3);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut m = Metrics::new(1);
+        m.on_deliver(0, 5);
+        m.on_deliver(0, 7);
+        let s = m.snapshot();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.total_bits, 12);
+        assert_eq!(s.max_msg_bits, 7);
+    }
+
+    #[test]
+    fn since_diffs_monotone_counters() {
+        let mut m = Metrics::new(1);
+        m.on_deliver(0, 5);
+        m.end_round();
+        let early = m.snapshot();
+        m.on_deliver(0, 9);
+        m.end_round();
+        let d = m.snapshot().since(&early);
+        assert_eq!(d.rounds, 1);
+        assert_eq!(d.messages, 1);
+        assert_eq!(d.total_bits, 9);
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_width() {
+        let mut m = Metrics::new(2);
+        m.on_deliver(1, 3);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        m.on_deliver(1, 3); // must not panic: width preserved
+    }
+}

@@ -1,0 +1,104 @@
+//! The protocol trait and the context handed to protocol code.
+
+use crate::envelope::Envelope;
+use dpq_core::{BitSize, NodeId};
+
+/// Execution context for one activation or message delivery.
+///
+/// Protocol code calls [`Ctx::send`] to emit messages; the scheduler decides
+/// when they arrive (next round in the synchronous model, after an arbitrary
+/// finite delay in the asynchronous model). Sends are buffered here rather
+/// than applied immediately so a node can never observe its own same-round
+/// sends — exactly the paper's channel semantics.
+pub struct Ctx<M> {
+    me: NodeId,
+    now: u64,
+    outbox: Vec<Envelope<M>>,
+}
+
+impl<M: BitSize> Ctx<M> {
+    pub(crate) fn new(me: NodeId, now: u64) -> Self {
+        Ctx {
+            me,
+            now,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The node this context belongs to.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current round (sync) or step (async). Protocols must not use this for
+    /// coordination — the paper's processes have no clocks — but it is handy
+    /// for tracing and for injection-rate bookkeeping in drivers.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Send `msg` to `dst`. Self-sends are allowed (they arrive like any
+    /// other message, one round later).
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        self.outbox.push(Envelope::new(self.me, dst, msg));
+    }
+
+    /// Send a batch of `(destination, message)` pairs — the outbox pattern
+    /// used by protocol components that cannot see the node's full message
+    /// enum.
+    pub fn send_all(&mut self, msgs: impl IntoIterator<Item = (NodeId, M)>) {
+        for (dst, msg) in msgs {
+            self.send(dst, msg);
+        }
+    }
+
+    pub(crate) fn take_outbox(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+/// A distributed protocol, instantiated once per node.
+///
+/// Mirrors the paper's model (§1.1): nodes execute *actions* triggered either
+/// by a message in their channel ([`Protocol::on_message`]) or by periodic
+/// activation ([`Protocol::on_activate`]).
+pub trait Protocol {
+    /// The protocol's message alphabet.
+    type Msg: BitSize;
+
+    /// Called when the scheduler activates this node.
+    fn on_activate(&mut self, ctx: &mut Ctx<Self::Msg>);
+
+    /// Called for each message delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<Self::Msg>);
+
+    /// Liveness hook: `true` when this node has no internal work left (its
+    /// buffers are drained and it is not waiting on anything it would itself
+    /// initiate). The scheduler stops when every node is done *and* no
+    /// messages are in flight.
+    fn done(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_buffers_sends_in_order() {
+        let mut ctx: Ctx<u64> = Ctx::new(NodeId(3), 17);
+        assert_eq!(ctx.me(), NodeId(3));
+        assert_eq!(ctx.now(), 17);
+        ctx.send(NodeId(0), 1);
+        ctx.send_all([(NodeId(1), 2), (NodeId(2), 3)]);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].dst, NodeId(0));
+        assert_eq!(out[2].msg, 3);
+        assert!(out.iter().all(|e| e.src == NodeId(3)));
+        assert!(ctx.take_outbox().is_empty());
+    }
+}

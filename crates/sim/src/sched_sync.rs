@@ -1,0 +1,270 @@
+//! The synchronous round scheduler — the paper's performance model.
+//!
+//! "For the performance analysis only, we assume the standard synchronous
+//! message passing model, where time proceeds in rounds and all messages
+//! that are sent out in round *i* will be processed in round *i+1*.
+//! Additionally, we assume that each node is activated once in each round."
+//! (§1.1)
+
+use crate::envelope::Envelope;
+use crate::metrics::Metrics;
+use crate::protocol::{Ctx, Protocol};
+use dpq_core::NodeId;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every node reported `done()` and no messages were in flight.
+    Quiescent {
+        /// Rounds consumed.
+        rounds: u64,
+    },
+    /// The round budget was exhausted first.
+    Budget {
+        /// Rounds consumed (= the budget).
+        rounds: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Rounds consumed by the run window.
+    pub fn rounds(&self) -> u64 {
+        match *self {
+            RunOutcome::Quiescent { rounds } | RunOutcome::Budget { rounds } => rounds,
+        }
+    }
+
+    /// Did the run reach its stopping condition (vs. exhausting the budget)?
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self, RunOutcome::Quiescent { .. })
+    }
+}
+
+/// Lock-step scheduler over `n` protocol instances.
+pub struct SyncScheduler<P: Protocol> {
+    nodes: Vec<P>,
+    /// Messages sent in the previous round, grouped per destination,
+    /// deliverable now.
+    inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Messages sent in the current round, deliverable next round.
+    next: Vec<Envelope<P::Msg>>,
+    /// Run metrics (rounds, messages, bits, congestion).
+    pub metrics: Metrics,
+    round: u64,
+}
+
+impl<P: Protocol> SyncScheduler<P> {
+    /// Wrap `n` protocol instances (index i = `NodeId(i)`).
+    pub fn new(nodes: Vec<P>) -> Self {
+        let n = nodes.len();
+        SyncScheduler {
+            nodes,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            next: Vec::new(),
+            metrics: Metrics::new(n),
+            round: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The protocol instance at `v`.
+    pub fn node(&self, v: NodeId) -> &P {
+        &self.nodes[v.index()]
+    }
+
+    /// Mutable access to the instance at `v` (drivers inject requests here).
+    pub fn node_mut(&mut self, v: NodeId) -> &mut P {
+        &mut self.nodes[v.index()]
+    }
+
+    /// All instances.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Mutable access to all instances.
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// Rounds elapsed since construction.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Messages currently in flight (sent last round and not yet processed,
+    /// plus those sent this round).
+    pub fn in_flight(&self) -> usize {
+        self.inboxes.iter().map(Vec::len).sum::<usize>() + self.next.len()
+    }
+
+    /// Execute one full round: every node first processes all messages that
+    /// arrived, then is activated once. Messages emitted during the round
+    /// become deliverable in the next one.
+    pub fn step_round(&mut self) {
+        for i in 0..self.nodes.len() {
+            let me = NodeId(i as u64);
+            let mut ctx = Ctx::new(me, self.round);
+            let inbox = std::mem::take(&mut self.inboxes[i]);
+            for env in inbox {
+                self.metrics.on_deliver(i, env.bits);
+                self.nodes[i].on_message(env.src, env.msg, &mut ctx);
+            }
+            self.nodes[i].on_activate(&mut ctx);
+            self.next.append(&mut ctx.take_outbox());
+        }
+        for env in self.next.drain(..) {
+            self.inboxes[env.dst.index()].push(env);
+        }
+        self.metrics.end_round();
+        self.round += 1;
+    }
+
+    /// True when nothing is in flight and every node reports done.
+    pub fn quiescent(&self) -> bool {
+        self.in_flight() == 0 && self.nodes.iter().all(Protocol::done)
+    }
+
+    /// Run until quiescence or until `max_rounds` elapse.
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> RunOutcome {
+        self.run_until(max_rounds, |_| true)
+    }
+
+    /// Run until `pred` holds over the nodes, ignoring in-flight messages —
+    /// for perpetually active protocols (Skeap/Seap cycle forever even with
+    /// empty batches) where "the workload completed" is the stopping
+    /// condition, not quiescence.
+    pub fn run_until_pred(&mut self, max_rounds: u64, pred: impl Fn(&[P]) -> bool) -> RunOutcome {
+        let start = self.round;
+        while self.round - start < max_rounds {
+            if pred(&self.nodes) {
+                return RunOutcome::Quiescent {
+                    rounds: self.round - start,
+                };
+            }
+            self.step_round();
+        }
+        RunOutcome::Budget {
+            rounds: self.round - start,
+        }
+    }
+
+    /// Run until (quiescent AND `pred` holds over the nodes) or the budget
+    /// runs out. `pred` lets drivers wait for protocol-level completion that
+    /// `done()` alone cannot express (e.g. "all requests answered").
+    pub fn run_until(&mut self, max_rounds: u64, pred: impl Fn(&[P]) -> bool) -> RunOutcome {
+        let start = self.round;
+        while self.round - start < max_rounds {
+            if self.quiescent() && pred(&self.nodes) {
+                return RunOutcome::Quiescent {
+                    rounds: self.round - start,
+                };
+            }
+            self.step_round();
+        }
+        RunOutcome::Budget {
+            rounds: self.round - start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpq_core::NodeId;
+
+    /// Toy protocol: node 0 floods a token along a ring once.
+    struct Ring {
+        me: usize,
+        n: usize,
+        fired: bool,
+        seen: bool,
+    }
+
+    impl Protocol for Ring {
+        type Msg = u64;
+
+        fn on_activate(&mut self, ctx: &mut Ctx<u64>) {
+            if self.me == 0 && !self.fired {
+                self.fired = true;
+                self.seen = true;
+                ctx.send(NodeId(1 % self.n as u64), 1);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, hops: u64, ctx: &mut Ctx<u64>) {
+            self.seen = true;
+            let next = (self.me + 1) % self.n;
+            if next != 0 {
+                ctx.send(NodeId(next as u64), hops + 1);
+            }
+        }
+
+        fn done(&self) -> bool {
+            self.seen
+        }
+    }
+
+    fn ring(n: usize) -> SyncScheduler<Ring> {
+        SyncScheduler::new(
+            (0..n)
+                .map(|me| Ring {
+                    me,
+                    n,
+                    fired: false,
+                    seen: false,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn token_takes_one_round_per_hop() {
+        let mut s = ring(8);
+        let out = s.run_until_quiescent(100);
+        assert!(out.is_quiescent());
+        // Round 0 fires the token; hops 1..7 each take a round; one final
+        // round to observe quiescence-worthy state.
+        assert!(
+            out.rounds() >= 8 && out.rounds() <= 9,
+            "rounds = {}",
+            out.rounds()
+        );
+        assert!(s.nodes().iter().all(|n| n.seen));
+    }
+
+    #[test]
+    fn congestion_of_a_ring_walk_is_one() {
+        let mut s = ring(8);
+        s.run_until_quiescent(100);
+        assert_eq!(s.metrics.congestion, 1);
+        assert_eq!(s.metrics.messages, 7);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut s = ring(64);
+        let out = s.run_until_quiescent(3);
+        assert!(!out.is_quiescent());
+        assert_eq!(out.rounds(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_predicate() {
+        // Quiescence alone is reached immediately for a ring that never
+        // fires; the predicate forces the budget path.
+        let mut s = SyncScheduler::new(vec![Ring {
+            me: 0,
+            n: 1,
+            fired: true, // never sends
+            seen: true,
+        }]);
+        let out = s.run_until(5, |_| false);
+        assert_eq!(out.rounds(), 5);
+        assert!(!out.is_quiescent());
+    }
+}

@@ -1,0 +1,98 @@
+//! Driver helpers: building Skeap clusters and feeding them workloads.
+
+use crate::node::{SkeapConfig, SkeapNode};
+use dpq_core::workload::WorkloadSpec;
+use dpq_core::{History, NodeId, OpKind};
+use dpq_overlay::{NodeView, Topology};
+use dpq_sim::{AsyncScheduler, MetricsSnapshot, SyncScheduler};
+
+/// Build the `n` protocol nodes of a Skeap instance.
+pub fn build(n: usize, n_prios: usize, seed: u64) -> Vec<SkeapNode> {
+    let topo = Topology::new(n, seed);
+    SkeapNode::build_cluster(NodeView::extract_all(&topo), SkeapConfig::fifo(n_prios))
+}
+
+/// Issue every op of a per-node script up front.
+pub fn inject_all(nodes: &mut [SkeapNode], scripts: &[Vec<OpKind>]) {
+    for (node, script) in nodes.iter_mut().zip(scripts) {
+        for op in script {
+            node.issue(*op);
+        }
+    }
+}
+
+/// Issue up to `rate` ops per node from the scripts, returning true while
+/// any script still has ops left. Used for injection-rate (λ) experiments.
+pub fn inject_rate(
+    nodes: &mut [SkeapNode],
+    scripts: &[Vec<OpKind>],
+    cursor: &mut [usize],
+    rate: usize,
+) -> bool {
+    let mut any_left = false;
+    for ((node, script), cur) in nodes.iter_mut().zip(scripts).zip(cursor.iter_mut()) {
+        let end = (*cur + rate).min(script.len());
+        for op in &script[*cur..end] {
+            node.issue(*op);
+        }
+        *cur = end;
+        any_left |= *cur < script.len();
+    }
+    any_left
+}
+
+/// Collect the merged history of a cluster.
+pub fn history(nodes: &[SkeapNode]) -> History {
+    History::merge(nodes.iter().map(|n| n.history.clone()).collect())
+}
+
+/// Outcome of a completed synchronous run.
+#[derive(Debug, Clone)]
+pub struct SyncRun {
+    /// Merged per-node histories.
+    pub history: History,
+    /// Run metrics.
+    pub metrics: MetricsSnapshot,
+    /// Rounds until every request completed (or the budget).
+    pub rounds: u64,
+    /// Did every request complete within the budget?
+    pub completed: bool,
+}
+
+/// Run a full workload synchronously: inject everything, run rounds until
+/// every request has completed.
+pub fn run_sync(spec: &WorkloadSpec, n_prios: usize, max_rounds: u64) -> SyncRun {
+    let mut nodes = build(spec.n, n_prios, spec.seed);
+    let scripts = dpq_core::workload::generate(spec);
+    inject_all(&mut nodes, &scripts);
+    let mut sched = SyncScheduler::new(nodes);
+    let out = sched.run_until_pred(max_rounds, |ns| ns.iter().all(SkeapNode::all_complete));
+    SyncRun {
+        history: history(sched.nodes()),
+        metrics: sched.metrics.snapshot(),
+        rounds: out.rounds(),
+        completed: out.is_quiescent(),
+    }
+}
+
+/// Run a full workload under the asynchronous adversary.
+pub fn run_async(
+    spec: &WorkloadSpec,
+    n_prios: usize,
+    sched_seed: u64,
+    max_steps: u64,
+) -> Option<History> {
+    let mut nodes = build(spec.n, n_prios, spec.seed);
+    let scripts = dpq_core::workload::generate(spec);
+    inject_all(&mut nodes, &scripts);
+    let mut sched = AsyncScheduler::new(nodes, sched_seed);
+    let ok = sched.run_until_pred(max_steps, |ns| ns.iter().all(SkeapNode::all_complete));
+    ok.then(|| history(sched.nodes()))
+}
+
+/// Convenience: the anchor's node id of a freshly built cluster (used by
+/// tests that want to poke at anchor-specific state).
+pub fn anchor_of(n: usize, seed: u64) -> NodeId {
+    let topo = Topology::new(n, seed);
+    dpq_overlay::tree::anchor_real(&topo)
+}

@@ -1,0 +1,135 @@
+//! The LIFO (stack-discipline) variant under the same batteries as FIFO
+//! Skeap: whole-cluster runs, both schedulers, random workloads.
+
+use dpq_core::workload::{generate, WorkloadSpec};
+use dpq_core::History;
+use dpq_overlay::{NodeView, Topology};
+use dpq_semantics::{check_heap_properties, check_local_consistency, replay, ReplayMode};
+use dpq_sim::{AsyncScheduler, SyncScheduler};
+use skeap::{SkeapConfig, SkeapNode};
+
+fn build_lifo(n: usize, n_prios: usize, seed: u64) -> Vec<SkeapNode> {
+    let topo = Topology::new(n, seed);
+    SkeapNode::build_cluster(NodeView::extract_all(&topo), SkeapConfig::lifo(n_prios))
+}
+
+fn history(nodes: &[SkeapNode]) -> History {
+    History::merge(nodes.iter().map(|n| n.history.clone()).collect())
+}
+
+fn assert_lifo_consistent(h: &History) {
+    replay(h, ReplayMode::Lifo).unwrap_or_else(|e| panic!("LIFO replay failed: {e}"));
+    check_local_consistency(h).unwrap_or_else(|e| panic!("local order: {e}"));
+    check_heap_properties(h).unwrap_or_else(|e| panic!("heap property: {e}"));
+}
+
+#[test]
+fn sync_lifo_runs_are_sequentially_consistent() {
+    for (n, ops, prios, seed) in [
+        (1usize, 30usize, 2u64, 1u64),
+        (4, 20, 1, 2),
+        (9, 16, 3, 3),
+        (20, 12, 2, 4),
+    ] {
+        let mut nodes = build_lifo(n, prios as usize, seed);
+        let scripts = generate(&WorkloadSpec::balanced(n, ops, prios, seed));
+        for (node, script) in nodes.iter_mut().zip(&scripts) {
+            for op in script {
+                node.issue(*op);
+            }
+        }
+        let mut sched = SyncScheduler::new(nodes);
+        assert!(sched
+            .run_until_pred(300_000, |ns| ns.iter().all(SkeapNode::all_complete))
+            .is_quiescent());
+        assert_lifo_consistent(&history(sched.nodes()));
+    }
+}
+
+#[test]
+fn async_lifo_runs_are_sequentially_consistent() {
+    for seed in 0..5u64 {
+        let mut nodes = build_lifo(7, 2, 200 + seed);
+        let scripts = generate(&WorkloadSpec::balanced(7, 12, 2, 200 + seed));
+        for (node, script) in nodes.iter_mut().zip(&scripts) {
+            for op in script {
+                node.issue(*op);
+            }
+        }
+        let mut sched = AsyncScheduler::new(nodes, 888 + seed);
+        assert!(
+            sched.run_until_pred(30_000_000, |ns| ns.iter().all(SkeapNode::all_complete)),
+            "seed {seed} stalled"
+        );
+        assert_lifo_consistent(&history(sched.nodes()));
+    }
+}
+
+#[test]
+fn priorities_still_dominate_the_discipline() {
+    // LIFO only breaks ties *within* a priority: a low-priority element
+    // always leaves before any high-priority one.
+    let mut nodes = build_lifo(4, 3, 9);
+    nodes[0].issue_insert(2, 100); // high priority value
+    nodes[1].issue_insert(0, 200); // low → must come out first
+    nodes[2].issue_insert(0, 201); // low, newer → before the older low
+    let mut sched = SyncScheduler::new(nodes);
+    assert!(sched
+        .run_until_pred(100_000, |ns| ns.iter().all(SkeapNode::all_complete))
+        .is_quiescent());
+    for _ in 0..3 {
+        sched.nodes_mut()[3].issue_delete();
+    }
+    assert!(sched
+        .run_until_pred(100_000, |ns| ns.iter().all(SkeapNode::all_complete))
+        .is_quiescent());
+    let h = history(sched.nodes());
+    let mut drained: Vec<(u64, u64)> = h
+        .records()
+        .filter_map(|r| match (r.ret, r.witness) {
+            (Some(dpq_core::OpReturn::Removed(e)), Some(w)) => Some((w, e.payload)),
+            _ => None,
+        })
+        .collect();
+    drained.sort();
+    let payloads: Vec<u64> = drained.into_iter().map(|(_, p)| p).collect();
+    assert_eq!(payloads, vec![201, 200, 100]);
+    assert_lifo_consistent(&h);
+}
+
+#[test]
+fn fragmentation_of_the_live_set_is_handled() {
+    // Alternate pushes and partial pops so the anchor's live set fragments
+    // into multiple intervals, then drain completely.
+    let n = 5;
+    let mut sched = SyncScheduler::new(build_lifo(n, 1, 10));
+    let mut pushed = 0u64;
+    let mut popped = 0u64;
+    for wave in 0..6u64 {
+        for v in 0..n {
+            sched.nodes_mut()[v].issue_insert(0, wave * 10 + v as u64);
+            pushed += 1;
+        }
+        // Pop fewer than were pushed, from one node, to leave fragments.
+        sched.nodes_mut()[0].issue_delete();
+        sched.nodes_mut()[0].issue_delete();
+        popped += 2;
+        assert!(sched
+            .run_until_pred(200_000, |ns| ns.iter().all(SkeapNode::all_complete))
+            .is_quiescent());
+    }
+    // Drain the rest (plus two ⊥).
+    for _ in 0..(pushed - popped + 2) {
+        sched.nodes_mut()[1].issue_delete();
+    }
+    assert!(sched
+        .run_until_pred(200_000, |ns| ns.iter().all(SkeapNode::all_complete))
+        .is_quiescent());
+    let h = history(sched.nodes());
+    assert_lifo_consistent(&h);
+    let bottoms = h
+        .records()
+        .filter(|r| r.ret == Some(dpq_core::OpReturn::Bottom))
+        .count();
+    assert_eq!(bottoms, 2);
+}

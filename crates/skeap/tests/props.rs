@@ -1,0 +1,141 @@
+//! Property tests for Skeap's batch algebra and the anchor's position
+//! assignment — the combinatorial core behind Theorem 3.2.
+
+use dpq_core::{ElemId, Element, NodeId, OpKind, Priority};
+use proptest::prelude::*;
+use skeap::{decompose, AnchorState, Batch};
+
+const P: usize = 3;
+
+fn arb_ops() -> impl Strategy<Value = Vec<OpKind>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..P as u64).prop_map(|p| {
+                OpKind::Insert(Element::new(ElemId::compose(NodeId(0), p), Priority(p), 0))
+            }),
+            Just(OpKind::DeleteMin),
+        ],
+        0..20,
+    )
+}
+
+proptest! {
+    /// Batch construction counts exactly the ops, and groups alternate.
+    #[test]
+    fn batch_counts_and_groups_are_consistent(ops in arb_ops()) {
+        let (b, groups) = Batch::from_ops(P, ops.iter());
+        prop_assert_eq!(b.total_ops() as usize, ops.len());
+        prop_assert_eq!(groups.len(), ops.len());
+        // Group indices are monotone non-decreasing.
+        prop_assert!(groups.windows(2).all(|w| w[0] <= w[1]));
+        // Per-group counts match a manual tally.
+        for (j, entry) in b.entries.iter().enumerate() {
+            let ins: u64 = ops
+                .iter()
+                .zip(&groups)
+                .filter(|(o, g)| **g == j && o.is_insert())
+                .count() as u64;
+            prop_assert_eq!(entry.ins_total(), ins);
+        }
+    }
+
+    /// Combination is commutative, associative, and zero-padded.
+    #[test]
+    fn combine_is_commutative_and_associative(
+        a in arb_ops(), b in arb_ops(), c in arb_ops(),
+    ) {
+        let (ba, _) = Batch::from_ops(P, a.iter());
+        let (bb, _) = Batch::from_ops(P, b.iter());
+        let (bc, _) = Batch::from_ops(P, c.iter());
+        prop_assert_eq!(ba.combine(&bb), bb.combine(&ba));
+        prop_assert_eq!(
+            ba.combine(&bb).combine(&bc),
+            ba.combine(&bb.combine(&bc))
+        );
+        prop_assert_eq!(ba.combine(&Batch::empty(P)), ba);
+    }
+
+    /// The anchor's assignment conserves positions: inserts get exactly
+    /// their count, deletes get positions + ⊥ summing to their count, and
+    /// witness ranges are contiguous and exhaustive.
+    #[test]
+    fn anchor_assignment_conserves_everything(
+        rounds in proptest::collection::vec(arb_ops(), 1..4),
+    ) {
+        let mut anchor = AnchorState::new(P);
+        let mut next_witness = 1u64;
+        for ops in rounds {
+            let (b, _) = Batch::from_ops(P, ops.iter());
+            let before = anchor.total_occupancy();
+            let assigns = anchor.assign(&b);
+            let mut ins_total = 0u64;
+            let mut del_covered = 0u64;
+            let mut bottoms = 0u64;
+            for (j, g) in assigns.iter().enumerate() {
+                prop_assert!(g.check());
+                let e = b.entry(j);
+                let got: u64 = g.ins.iter().map(|iv| iv.cardinality()).sum();
+                prop_assert_eq!(got, e.ins_total());
+                prop_assert_eq!(g.del.total() + g.bottom, e.del);
+                ins_total += got;
+                del_covered += g.del.total();
+                bottoms += g.bottom;
+                // Witness contiguity across groups.
+                if got > 0 {
+                    prop_assert_eq!(g.ins_seq.lo, next_witness);
+                }
+                next_witness += got;
+                if e.del > 0 {
+                    prop_assert_eq!(g.del_seq.lo, next_witness);
+                }
+                next_witness += e.del;
+            }
+            // Heap occupancy evolves by inserts minus matched deletes.
+            prop_assert_eq!(
+                anchor.total_occupancy(),
+                before + ins_total - del_covered
+            );
+            let _ = bottoms;
+        }
+    }
+
+    /// Decomposition redistributes exactly the assigned positions over the
+    /// parts, whatever the split of ops into parts.
+    #[test]
+    fn decompose_partitions_positions(
+        a in arb_ops(), b in arb_ops(), c in arb_ops(),
+    ) {
+        let (pa, _) = Batch::from_ops(P, a.iter());
+        let (pb, _) = Batch::from_ops(P, b.iter());
+        let (pc, _) = Batch::from_ops(P, c.iter());
+        let combined = pa.combine(&pb).combine(&pc);
+        let mut anchor = AnchorState::new(P);
+        let assigns = anchor.assign(&combined);
+        let parts = decompose(&assigns, &[&pa, &pb, &pc]);
+        // Union of all slices equals the root assignment, per group and
+        // priority.
+        for (j, root) in assigns.iter().enumerate() {
+            for p in 0..P {
+                let root_pos: Vec<u64> = root.ins[p].positions().collect();
+                let mut got: Vec<u64> = Vec::new();
+                for (part_idx, part) in [&pa, &pb, &pc].iter().enumerate() {
+                    if j < part.len() {
+                        got.extend(parts[part_idx][j].ins[p].positions());
+                    }
+                }
+                prop_assert_eq!(got, root_pos);
+            }
+            let root_del: Vec<(u64, u64)> = root.del.iter_positions().collect();
+            let mut got: Vec<(u64, u64)> = Vec::new();
+            let mut bottoms = 0;
+            for (part_idx, part) in [&pa, &pb, &pc].iter().enumerate() {
+                if j < part.len() {
+                    got.extend(parts[part_idx][j].del.iter_positions());
+                    bottoms += parts[part_idx][j].bottom;
+                }
+            }
+            prop_assert_eq!(got, root_del);
+            prop_assert_eq!(bottoms, root.bottom);
+        }
+    }
+}

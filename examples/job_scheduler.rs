@@ -1,0 +1,79 @@
+//! Distributed job scheduling — the paper's motivating application (§1):
+//! "one may insert jobs that have been assigned priorities and workers may
+//! pull these jobs from the heap based on their priority."
+//!
+//! A Skeap cluster with three priority classes (interactive / batch /
+//! background). Producers inject jobs at a configurable rate; every node is
+//! also a worker pulling jobs. We verify that the pulled stream is
+//! sequentially consistent and that urgent work is served first.
+//!
+//! ```text
+//! cargo run --release --example job_scheduler
+//! ```
+
+use dpq::semantics::{check_local_consistency, replay, ReplayMode};
+use dpq::sim::SyncScheduler;
+use dpq::skeap::{cluster, SkeapNode};
+
+const INTERACTIVE: u64 = 0;
+const BATCH: u64 = 1;
+const BACKGROUND: u64 = 2;
+
+fn main() {
+    let n = 32;
+    let n_prios = 3;
+    let nodes = cluster::build(n, n_prios, 7);
+    let mut sched = SyncScheduler::new(nodes);
+
+    // Producers: for 20 rounds, every node submits one job per round, mostly
+    // background noise with occasional interactive bursts; every 4th round
+    // each node also pulls a job.
+    let mut submitted = [0usize; 3];
+    for round in 0..20u64 {
+        for v in 0..n {
+            let class = match (round + v as u64) % 10 {
+                0 => INTERACTIVE,
+                1..=3 => BATCH,
+                _ => BACKGROUND,
+            };
+            sched.nodes_mut()[v].issue_insert(class, round * 1000 + v as u64);
+            submitted[class as usize] += 1;
+            if round % 4 == 3 {
+                sched.nodes_mut()[v].issue_delete();
+            }
+        }
+        sched.step_round();
+    }
+    let out = sched.run_until_pred(100_000, |ns| ns.iter().all(SkeapNode::all_complete));
+    assert!(out.is_quiescent());
+
+    let history = cluster::history(sched.nodes());
+    let mut served = [0usize; 3];
+    for rec in history.records() {
+        if let Some(dpq::core::OpReturn::Removed(e)) = rec.ret {
+            served[e.prio.0 as usize] += 1;
+        }
+    }
+    println!(
+        "submitted  interactive={} batch={} background={}",
+        submitted[0], submitted[1], submitted[2]
+    );
+    println!(
+        "served     interactive={} batch={} background={}",
+        served[0], served[1], served[2]
+    );
+
+    // Priority discipline: background jobs are only served once no
+    // interactive or batch job was pending at serving time — globally
+    // enforced by the heap-consistency property, which we verify:
+    replay(&history, ReplayMode::Fifo).expect("pull stream is a serial heap execution");
+    check_local_consistency(&history).expect("per-worker order respected");
+    println!(
+        "sequential consistency verified across {} requests in {} rounds ✓",
+        history.len(),
+        sched.round()
+    );
+    // With the workload above the pool is dominated by background jobs, yet
+    // the early pulls drain the urgent classes first.
+    assert!(served[INTERACTIVE as usize] > 0);
+}

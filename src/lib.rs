@@ -1,0 +1,17 @@
+//! # dpq — Skeap & Seap distributed priority queues
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a tour
+//! and `DESIGN.md` for the paper-to-module map.
+
+#![warn(missing_docs)]
+
+pub use dpq_agg as agg;
+pub use dpq_baselines as baselines;
+pub use dpq_core as core;
+pub use dpq_dht as dht;
+pub use dpq_overlay as overlay;
+pub use dpq_semantics as semantics;
+pub use dpq_sim as sim;
+pub use kselect;
+pub use seap;
+pub use skeap;
