@@ -3,15 +3,36 @@
 //! ```text
 //! cargo run -p dpq-bench --release --bin experiments            # everything
 //! cargo run -p dpq-bench --release --bin experiments -- e2 e5   # a subset
+//! cargo run -p dpq-bench --release --bin experiments -- e2 --trace /tmp/e2.json
 //! ```
 //!
-//! Tables are printed and written as CSV under `results/`.
+//! Tables are printed and written as CSV under `results/`. With `--trace`,
+//! the tracing-capable experiments (E2, E5, E10) also write a Chrome
+//! trace-event file — open it in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`; each run appears as its own process with per-round
+//! counters and phase-mark instants.
 
+use dpq_bench::ExpOpts;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
-    let wanted: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut opts = ExpOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => opts.trace = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            wanted.push(a.to_lowercase());
+        }
+    }
     let out_dir = PathBuf::from("results");
     let all = dpq_bench::all_experiments();
     let selected: Vec<_> = all
@@ -25,9 +46,19 @@ fn main() {
         }
         std::process::exit(2);
     }
+    let traced = ["e2", "e5", "e10"];
+    if opts.trace.is_some()
+        && selected
+            .iter()
+            .filter(|(id, _)| traced.contains(id))
+            .count()
+            > 1
+    {
+        eprintln!("note: --trace names one file; each traced experiment overwrites it");
+    }
     for (id, run) in selected {
         let t0 = Instant::now();
-        let table = run();
+        let table = run(&opts);
         println!("{}", table.render());
         println!("  ({} finished in {:.1?})\n", id, t0.elapsed());
         if let Err(e) = table.write_csv(&out_dir) {

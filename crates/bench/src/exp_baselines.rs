@@ -11,7 +11,7 @@ use skeap::cluster as skeap_cluster;
 use skeap::SkeapNode;
 
 /// B1 — centralized-coordinator congestion grows with n; Skeap's does not.
-pub fn b1_central_congestion() -> Table {
+pub fn b1_central_congestion(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "b1",
         "Congestion vs n at fixed per-node load: centralized coordinator vs Skeap",
@@ -57,7 +57,7 @@ pub fn b1_central_congestion() -> Table {
 }
 
 /// B2 — gather-to-root selection vs KSelect: message sizes and totals.
-pub fn b2_naive_kselect() -> Table {
+pub fn b2_naive_kselect(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "b2",
         "k-selection, m = 16n candidates: gather-to-root vs KSelect",

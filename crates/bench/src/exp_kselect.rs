@@ -13,7 +13,7 @@ fn run(n: usize, m: u64, k: u64, seed: u64) -> driver::KSelectRun {
 }
 
 /// E5 — Thm 4.2: O(log n) rounds, Õ(1) congestion, O(log n)-bit messages.
-pub fn e5_costs() -> Table {
+pub fn e5_costs(opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e5",
         "KSelect costs vs n, m = 16·n (Thm 4.2: O(log n) rounds, Õ(1) congestion, O(log n) bits)",
@@ -23,13 +23,40 @@ pub fn e5_costs() -> Table {
             "rounds/log2(n)",
             "congestion",
             "max msg bits",
+            "sel p50",
+            "sel p95",
+            "sel max",
         ],
     );
+    let mut chrome = crate::trace_collector(opts);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
         let m = 16 * n as u64;
-        let runs: Vec<driver::KSelectRun> = (0..3).map(|s| run(n, m, m / 2, 600 + s)).collect();
+        let runs: Vec<driver::KSelectRun> = (0..3u64)
+            .map(|s| {
+                let seed = 600 + s;
+                let cands = driver::random_candidates(n, m, 1 << 30, seed);
+                let expect = driver::sequential_select(&cands, m / 2);
+                let run = if let Some(ct) = chrome.as_mut() {
+                    let (run, tracer) = driver::run_sync_traced(
+                        n,
+                        cands,
+                        m / 2,
+                        KSelectConfig::default(),
+                        seed,
+                        3_000_000,
+                        crate::control_tracer(),
+                    );
+                    ct.add_run(&format!("e5 n={n} seed={seed}"), &tracer.into_events());
+                    run
+                } else {
+                    driver::run_sync(n, cands, m / 2, KSelectConfig::default(), seed, 3_000_000)
+                };
+                assert_eq!(run.result, expect, "KSelect answered incorrectly");
+                run
+            })
+            .collect();
         let rounds = mean(&runs.iter().map(|r| r.rounds as f64).collect::<Vec<_>>());
         let cong = mean(
             &runs
@@ -38,6 +65,10 @@ pub fn e5_costs() -> Table {
                 .collect::<Vec<_>>(),
         );
         let bits = runs.iter().map(|r| r.metrics.max_msg_bits).max().unwrap();
+        // KSelect runs one operation — the selection itself — so its latency
+        // distribution is over the per-seed completion rounds.
+        let sel: Vec<u64> = runs.iter().map(|r| r.rounds).collect();
+        let lat = dpq_sim::LatencySummary::from_samples(&sel);
         xs.push(n as f64);
         ys.push(rounds);
         t.row(vec![
@@ -46,6 +77,9 @@ pub fn e5_costs() -> Table {
             f(rounds / (n as f64).log2()),
             f(cong),
             bits.to_string(),
+            lat.p50.to_string(),
+            lat.p95.to_string(),
+            lat.max.to_string(),
         ]);
     }
     let (a, b, r2) = log_fit(&xs, &ys);
@@ -56,11 +90,13 @@ pub fn e5_costs() -> Table {
         r2
     ));
     t.note("congestion stays in a flat polylog band; message bits do not scale with n·m");
+    t.note("sel latency = rounds to finish the selection, distribution over the 3 seeds");
+    crate::write_trace(opts, chrome, "e5");
     t
 }
 
 /// E6 — Lemma 4.4: after Phase 1, N ∈ O(n^{3/2}·log n).
-pub fn e6_phase1_reduction() -> Table {
+pub fn e6_phase1_reduction(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e6",
         "Candidates remaining after Phase 1 (Lemma 4.4: N ∈ O(n^{3/2}·log n) w.h.p.)",
@@ -91,7 +127,7 @@ pub fn e6_phase1_reduction() -> Table {
 }
 
 /// E7 — Lemma 4.7: Θ(1) Phase-2 iterations until N ≤ √n.
-pub fn e7_phase2_iterations() -> Table {
+pub fn e7_phase2_iterations(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e7",
         "Phase-2 iterations until N ≤ Θ(√n) (Lemma 4.7: Θ(1) iterations w.h.p.)",
@@ -121,7 +157,7 @@ pub fn e7_phase2_iterations() -> Table {
 }
 
 /// E8 — Lemma 4.5: E[#copy trees a node participates in] = Θ(1).
-pub fn e8_tree_memberships() -> Table {
+pub fn e8_tree_memberships(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e8",
         "Copy-tree memberships per node per sorting epoch (Lemma 4.5: Θ(1) expected)",

@@ -10,7 +10,7 @@ use dpq_overlay::{membership, route_path, tree, NodeView, Topology, VirtId, Virt
 use dpq_sim::SyncScheduler;
 
 /// E12 — Lemma 2.2: tree height, DHT request hops, storage fairness.
-pub fn e12_tree_and_dht() -> Table {
+pub fn e12_tree_and_dht(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e12",
         "Aggregation tree & DHT (Lemma 2.2): height O(log n), ops O(log n) hops, m/n load",
@@ -85,7 +85,7 @@ pub fn e12_tree_and_dht() -> Table {
 }
 
 /// E13 — Lemma A.2: point routing in O(log n) hops.
-pub fn e13_routing() -> Table {
+pub fn e13_routing(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e13",
         "LDB point-routing hops vs n (Lemma A.2: O(log n) w.h.p.)",
@@ -125,7 +125,7 @@ pub fn e13_routing() -> Table {
 }
 
 /// E14 — §1.4(4): Join/Leave in O(log n).
-pub fn e14_join_leave() -> Table {
+pub fn e14_join_leave(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e14",
         "Join/Leave (§1.4(4)): O(log n) locate hops, constant splice, tree stays valid",
@@ -164,7 +164,7 @@ pub fn e14_join_leave() -> Table {
 }
 
 /// F2 — Figure 2: the two-node LDB and its aggregation tree.
-pub fn f2_figure2() -> Table {
+pub fn f2_figure2(_opts: &crate::ExpOpts) -> Table {
     let topo = Topology::from_middles(vec![0.4, 0.6]);
     let u = NodeId(0);
     let v = NodeId(1);

@@ -10,7 +10,7 @@ use seap::{cluster, SeapNode};
 
 /// E9 — Thm 5.1(2): serializability + heap consistency under the async
 /// adversary.
-pub fn e9_semantics() -> Table {
+pub fn e9_semantics(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e9",
         "Seap serializability & heap consistency under the async adversary (Thm 5.1(2))",
@@ -37,7 +37,7 @@ pub fn e9_semantics() -> Table {
 }
 
 /// E10 — Thm 5.1(3,4,5): rounds, congestion, message bits.
-pub fn e10_costs() -> Table {
+pub fn e10_costs(opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e10",
         "Seap costs vs n (Thm 5.1: O(log n) rounds, Õ(Λ) congestion, O(log n)-bit messages)",
@@ -47,15 +47,29 @@ pub fn e10_costs() -> Table {
             "rounds/log2(n)",
             "congestion",
             "max msg bits",
+            "op p50",
+            "op p95",
+            "op max",
         ],
     );
+    let mut chrome = crate::trace_collector(opts);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for n in [8usize, 16, 32, 64, 128, 256, 512] {
-        let runs: Vec<_> = (0..3)
+        let runs: Vec<_> = (0..3u64)
             .map(|s| {
                 let spec = WorkloadSpec::balanced(n, 4, 1 << 24, 510 + s);
-                let run = cluster::run_sync(&spec, 3_000_000);
+                let run = if let Some(ct) = chrome.as_mut() {
+                    let (run, tracer) =
+                        cluster::run_sync_traced(&spec, 3_000_000, crate::control_tracer());
+                    ct.add_run(
+                        &format!("e10 n={n} seed={}", 510 + s),
+                        &tracer.into_events(),
+                    );
+                    run
+                } else {
+                    cluster::run_sync(&spec, 3_000_000)
+                };
                 assert!(run.completed);
                 check_seap_history(&run.history).expect("semantics hold");
                 run
@@ -69,6 +83,11 @@ pub fn e10_costs() -> Table {
                 .collect::<Vec<_>>(),
         );
         let bits = runs.iter().map(|r| r.metrics.max_msg_bits).max().unwrap();
+        let lats: Vec<u64> = runs
+            .iter()
+            .flat_map(|r| r.latencies.iter().copied())
+            .collect();
+        let lat = dpq_sim::LatencySummary::from_samples(&lats);
         xs.push(n as f64);
         ys.push(rounds);
         t.row(vec![
@@ -77,6 +96,9 @@ pub fn e10_costs() -> Table {
             f(rounds / (n as f64).log2()),
             f(cong),
             bits.to_string(),
+            lat.p50.to_string(),
+            lat.p95.to_string(),
+            lat.max.to_string(),
         ]);
     }
     let (a, b, r2) = log_fit(&xs, &ys);
@@ -86,6 +108,8 @@ pub fn e10_costs() -> Table {
         f(b),
         r2
     ));
+    t.note("op latency = rounds from injection to completion, pooled over the 3 seeds");
+    crate::write_trace(opts, chrome, "e10");
     t
 }
 
@@ -122,7 +146,7 @@ fn seap_max_bits(n: usize, lambda: usize, seed: u64) -> u64 {
 }
 
 /// E11 — §1.4(3): Seap's O(log n)-bit messages vs Skeap's O(Λ·log²n).
-pub fn e11_message_size_vs_skeap() -> Table {
+pub fn e11_message_size_vs_skeap(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e11",
         "Max message bits vs injection rate Λ at n=128: Skeap O(Λ log²n) vs Seap O(log n)",

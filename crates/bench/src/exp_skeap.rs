@@ -11,7 +11,7 @@ use skeap::SkeapNode;
 
 /// E1 — Thm 3.2(2): sequential consistency + heap consistency, validated by
 /// constructive replay over adversarial asynchronous executions.
-pub fn e1_semantics() -> Table {
+pub fn e1_semantics(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e1",
         "Skeap sequential & heap consistency under the async adversary (Thm 3.2(2))",
@@ -49,27 +49,51 @@ pub fn e1_semantics() -> Table {
 }
 
 /// E2 — Cor 3.6 / Thm 3.2(3): O(log n) rounds per batch.
-pub fn e2_rounds() -> Table {
+pub fn e2_rounds(opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e2",
         "Skeap rounds to complete a batch vs n (Cor 3.6: O(log n) w.h.p.)",
-        &["n", "rounds (mean of 3 seeds)", "rounds/log2(n)"],
+        &[
+            "n",
+            "rounds (mean of 3 seeds)",
+            "rounds/log2(n)",
+            "op p50",
+            "op p95",
+            "op max",
+        ],
     );
+    let mut chrome = crate::trace_collector(opts);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
-        let rounds: Vec<f64> = (0..3)
-            .map(|s| {
-                let spec = WorkloadSpec::balanced(n, 4, 2, 500 + s);
-                let run = cluster::run_sync(&spec, 2, 2_000_000);
-                assert!(run.completed);
-                run.rounds as f64
-            })
-            .collect();
+        let mut rounds = Vec::new();
+        let mut lats = Vec::new();
+        for s in 0..3u64 {
+            let spec = WorkloadSpec::balanced(n, 4, 2, 500 + s);
+            let run = if let Some(ct) = chrome.as_mut() {
+                let (run, tracer) =
+                    cluster::run_sync_traced(&spec, 2, 2_000_000, crate::control_tracer());
+                ct.add_run(&format!("e2 n={n} seed={}", 500 + s), &tracer.into_events());
+                run
+            } else {
+                cluster::run_sync(&spec, 2, 2_000_000)
+            };
+            assert!(run.completed);
+            rounds.push(run.rounds as f64);
+            lats.extend_from_slice(&run.latencies);
+        }
         let m = mean(&rounds);
         xs.push(n as f64);
         ys.push(m);
-        t.row(vec![n.to_string(), f(m), f(m / (n as f64).log2())]);
+        let lat = dpq_sim::LatencySummary::from_samples(&lats);
+        t.row(vec![
+            n.to_string(),
+            f(m),
+            f(m / (n as f64).log2()),
+            lat.p50.to_string(),
+            lat.p95.to_string(),
+            lat.max.to_string(),
+        ]);
     }
     let (a, b, r2) = log_fit(&xs, &ys);
     t.note(format!(
@@ -78,6 +102,8 @@ pub fn e2_rounds() -> Table {
         f(b),
         r2
     ));
+    t.note("op latency = rounds from injection to completion, pooled over the 3 seeds");
+    crate::write_trace(opts, chrome, "e2");
     t
 }
 
@@ -94,7 +120,10 @@ fn run_rate(
     let mut sched = SyncScheduler::new(nodes);
     let mut cursor = vec![0usize; n];
     loop {
-        let more = cluster::inject_rate(sched.nodes_mut(), &scripts, &mut cursor, lambda);
+        let (ids, more) = cluster::inject_rate(sched.nodes_mut(), &scripts, &mut cursor, lambda);
+        for id in ids {
+            sched.note_injected(id);
+        }
         sched.step_round();
         if !more {
             break;
@@ -111,7 +140,7 @@ pub fn max_bits_at_rate(n: usize, lambda: usize, seed: u64) -> u64 {
 }
 
 /// E3 — Lemma 3.7: congestion Õ(Λ).
-pub fn e3_congestion() -> Table {
+pub fn e3_congestion(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e3",
         "Skeap congestion vs injection rate Λ at n=128 (Lemma 3.7: Õ(Λ))",
@@ -130,7 +159,7 @@ pub fn e3_congestion() -> Table {
 }
 
 /// E4 — Lemma 3.8: message size O(Λ log² n) bits.
-pub fn e4_message_bits() -> Table {
+pub fn e4_message_bits(_opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e4",
         "Skeap max message size vs Λ and n (Lemma 3.8: O(Λ·log² n) bits)",
@@ -162,7 +191,7 @@ pub fn e4_message_bits() -> Table {
 /// The stack variant fragments the anchor's live-position set, which can
 /// lengthen delete assignments (more interval pieces per message); rounds
 /// are unchanged (same wave structure).
-pub fn e15_discipline_ablation() -> Table {
+pub fn e15_discipline_ablation(_opts: &crate::ExpOpts) -> Table {
     use dpq_overlay::{NodeView, Topology};
     let mut t = Table::new(
         "e15",
@@ -221,7 +250,7 @@ pub fn e15_discipline_ablation() -> Table {
 }
 
 /// F1 — Figure 1: the worked 3-node trace, recomputed.
-pub fn f1_figure1() -> Table {
+pub fn f1_figure1(_opts: &crate::ExpOpts) -> Table {
     use dpq_core::{ElemId, Element, NodeId, Priority};
     use skeap::{AnchorState, Batch};
     let ins = |p: u64| OpKind::Insert(Element::new(ElemId::compose(NodeId(0), p), Priority(p), 0));

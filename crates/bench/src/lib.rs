@@ -16,15 +16,54 @@ pub mod exp_skeap;
 pub mod stats;
 pub mod table;
 
+use std::path::PathBuf;
 use table::Table;
 
+/// Options shared by every experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOpts {
+    /// Write a Chrome trace-event file (Perfetto / `chrome://tracing`) of
+    /// the experiment's runs to this path. Honoured by the tracing-capable
+    /// experiments (E2, E5, E10); ignored by the rest.
+    pub trace: Option<PathBuf>,
+}
+
 /// A named experiment entry.
-pub type Experiment = (&'static str, fn() -> Table);
+pub type Experiment = (&'static str, fn(&ExpOpts) -> Table);
+
+/// The event sink the tracing-capable experiments attach to each run: a
+/// bounded ring keeping the control-plane events (round ends, phase marks,
+/// op lifecycle) — per-message Send/Deliver events are masked out so traces
+/// stay small at the largest experiment scales.
+pub fn control_tracer() -> dpq_trace::RingTracer {
+    dpq_trace::RingTracer::new(1 << 20, dpq_trace::EventMask::CONTROL)
+}
+
+/// A Chrome-trace collector, present exactly when `--trace` was given.
+pub fn trace_collector(opts: &ExpOpts) -> Option<dpq_trace::ChromeTrace> {
+    opts.trace.as_ref().map(|_| dpq_trace::ChromeTrace::new())
+}
+
+/// Write a collected trace to the `--trace` path (no-op with tracing off).
+pub fn write_trace(opts: &ExpOpts, chrome: Option<dpq_trace::ChromeTrace>, id: &str) {
+    let (Some(path), Some(ct)) = (opts.trace.as_ref(), chrome) else {
+        return;
+    };
+    let runs = ct.runs();
+    let res = std::fs::File::create(path).and_then(|file| {
+        let mut w = std::io::BufWriter::new(file);
+        ct.write(&mut w)
+    });
+    match res {
+        Ok(()) => eprintln!("  trace: {runs} {id} runs -> {}", path.display()),
+        Err(e) => eprintln!("  ! could not write trace {}: {e}", path.display()),
+    }
+}
 
 /// All experiments in index order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("e1", exp_skeap::e1_semantics as fn() -> Table),
+        ("e1", exp_skeap::e1_semantics as fn(&ExpOpts) -> Table),
         ("e2", exp_skeap::e2_rounds),
         ("e3", exp_skeap::e3_congestion),
         ("e4", exp_skeap::e4_message_bits),

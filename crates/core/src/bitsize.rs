@@ -35,10 +35,41 @@ pub fn tag_bits(variants: u64) -> u64 {
     64 - (variants.max(2) - 1).leading_zeros() as u64
 }
 
+/// Coarse per-message-type label used by telemetry.
+///
+/// Kinds name message *families* ("skeap.batch_up", "dht.req"), not
+/// individual variants of every nested payload — fine enough to see where a
+/// run's bits went, coarse enough that the accounting table stays small.
+/// The wrapped string is `'static` so kinds are free to copy and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgKind(pub &'static str);
+
+impl MsgKind {
+    /// Fallback label for messages that have not declared a kind.
+    pub const OTHER: MsgKind = MsgKind("other");
+
+    /// The label as a plain string.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
 /// Types with a measurable encoded size in bits.
 pub trait BitSize {
     /// The encoded size of this value, in bits.
     fn bits(&self) -> u64;
+
+    /// Telemetry label for this message; protocol messages override this so
+    /// per-kind counters can attribute traffic ([`MsgKind::OTHER`] otherwise).
+    fn kind(&self) -> MsgKind {
+        MsgKind::OTHER
+    }
 }
 
 impl BitSize for u64 {

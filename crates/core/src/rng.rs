@@ -7,7 +7,6 @@
 //! seeds stay human-readable `u64`s and stream-splitting is cheap.
 
 use crate::hashing::split_mix64;
-use rand::RngCore;
 
 /// A small, fast, seedable RNG (SplitMix64 sequence).
 #[derive(Debug, Clone)]
@@ -76,28 +75,6 @@ impl DetRng {
     /// Pick one element uniformly (panics on empty slice).
     pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
         &xs[self.below(xs.len() as u64) as usize]
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64_inline() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_inline()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let v = self.next_u64_inline().to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -4,7 +4,7 @@ use crate::ctl::{KSelectConfig, KStats};
 use crate::node::KSelectNode;
 use dpq_core::{DetRng, ElemId, Key, NodeId, Priority};
 use dpq_overlay::{tree, NodeView, Topology};
-use dpq_sim::{AsyncScheduler, MetricsSnapshot, SyncScheduler};
+use dpq_sim::{AsyncScheduler, MetricsSnapshot, NullTracer, SyncScheduler, Tracer};
 
 /// Generate `m` candidate keys with priorities drawn uniformly from
 /// `0..prio_space` and spread them uniformly at random over `n` nodes — the
@@ -111,8 +111,24 @@ pub fn run_sync(
     seed: u64,
     max_rounds: u64,
 ) -> KSelectRun {
+    run_sync_traced(n, per_node, k, cfg, seed, max_rounds, NullTracer).0
+}
+
+/// [`run_sync`] with an event sink attached to the scheduler; returns the
+/// sink alongside the run so callers can export the stream (phase marks
+/// delimit the algorithm's phase boundaries).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync_traced<T: Tracer>(
+    n: usize,
+    per_node: Vec<Vec<Key>>,
+    k: u64,
+    cfg: KSelectConfig,
+    seed: u64,
+    max_rounds: u64,
+    tracer: T,
+) -> (KSelectRun, T) {
     let nodes = build(n, per_node, k, cfg, seed);
-    let mut sched = SyncScheduler::new(nodes);
+    let mut sched = SyncScheduler::with_tracer(nodes, tracer);
     let out = sched.run_until_pred(max_rounds, |ns| {
         ns.iter().all(|n: &KSelectNode| n.result.is_some())
     });
@@ -120,7 +136,8 @@ pub fn run_sync(
         out.is_quiescent(),
         "selection did not finish in {max_rounds} rounds"
     );
-    summarize(sched.nodes(), out.rounds(), sched.metrics.snapshot())
+    let run = summarize(sched.nodes(), out.rounds(), sched.metrics.snapshot());
+    (run, sched.into_tracer())
 }
 
 /// Run a full selection under the asynchronous adversary. Returns `None` on

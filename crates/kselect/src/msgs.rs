@@ -8,7 +8,7 @@
 //! the experiments verify by measuring `BitSize` on the wire.
 
 use dpq_core::bitsize::{tag_bits, vlq_bits};
-use dpq_core::{BitSize, Key, NodeId};
+use dpq_core::{BitSize, Key, MsgKind, NodeId};
 use dpq_overlay::routing::{HopMsg, RouteMsg};
 
 fn key_bits(k: &Key) -> u64 {
@@ -333,6 +333,19 @@ impl BitSize for KMsg {
                     vlq_bits(*epoch) + key_bits(key) + vlq_bits(*order)
                 }
             }
+    }
+
+    fn kind(&self) -> MsgKind {
+        match self {
+            KMsg::Down(_) => MsgKind("kselect.down"),
+            KMsg::Up(_) => MsgKind("kselect.up"),
+            KMsg::Place(_) => MsgKind("kselect.place"),
+            KMsg::Split(_) => MsgKind("kselect.split"),
+            KMsg::Compare(_) => MsgKind("kselect.compare"),
+            KMsg::CmpResult { .. } => MsgKind("kselect.cmp_result"),
+            KMsg::CopyAgg { .. } => MsgKind("kselect.copy_agg"),
+            KMsg::Order { .. } => MsgKind("kselect.order"),
+        }
     }
 }
 

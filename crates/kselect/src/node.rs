@@ -32,11 +32,20 @@ use std::collections::HashMap;
 pub trait KOut {
     /// Emit one protocol message to `dst`.
     fn send_k(&mut self, dst: NodeId, msg: KMsg);
+
+    /// Note a named phase boundary (forwarded to the simulator's tracer by
+    /// both sink implementations; a no-op by default so bare test sinks
+    /// don't have to care).
+    fn mark(&mut self, _label: &'static str, _value: u64) {}
 }
 
 impl KOut for Ctx<KMsg> {
     fn send_k(&mut self, dst: NodeId, msg: KMsg) {
         self.send(dst, msg);
+    }
+
+    fn mark(&mut self, label: &'static str, value: u64) {
+        self.phase_mark(label, value);
     }
 }
 
@@ -52,6 +61,10 @@ impl<M: dpq_core::BitSize, F: FnMut(KMsg) -> M> KOut for WrapOut<'_, M, F> {
     fn send_k(&mut self, dst: NodeId, msg: KMsg) {
         let wrapped = (self.wrap)(msg);
         self.ctx.send(dst, wrapped);
+    }
+
+    fn mark(&mut self, label: &'static str, value: u64) {
+        self.ctx.phase_mark(label, value);
     }
 }
 
@@ -202,6 +215,20 @@ impl KSelectNode {
     // ---- wave plumbing -------------------------------------------------
 
     fn process_cmd(&mut self, cmd: Cmd, out: &mut impl KOut) {
+        // The anchor originates every wave: one mark per wave, named after
+        // the algorithm phase the command opens (§4's phase structure).
+        if self.view.is_anchor() {
+            let (label, value) = match &cmd {
+                Cmd::P1Bounds { k, .. } => ("kselect.phase1", *k),
+                Cmd::P1Prune { .. } => ("kselect.phase1_prune", 0),
+                Cmd::Sample { epoch, prob, .. } if *prob >= 1.0 => ("kselect.phase3", *epoch),
+                Cmd::Sample { epoch, .. } => ("kselect.phase2", *epoch),
+                Cmd::Positions { epoch, .. } => ("kselect.sort", *epoch),
+                Cmd::WindowCount { .. } => ("kselect.window", 0),
+                Cmd::Announce { .. } => ("kselect.done", 0),
+            };
+            out.mark(label, value);
+        }
         // Waves are strictly sequential per node, so one collector serves
         // them all; reset it for commands that expect an up-response.
         match &cmd {

@@ -2,9 +2,11 @@
 
 use crate::node::{SeapConfig, SeapNode};
 use dpq_core::workload::WorkloadSpec;
-use dpq_core::{History, OpKind};
+use dpq_core::{History, OpId, OpKind};
 use dpq_overlay::{NodeView, Topology};
-use dpq_sim::{AsyncScheduler, MetricsSnapshot, SyncScheduler};
+use dpq_sim::{
+    AsyncScheduler, LatencySummary, MetricsSnapshot, NullTracer, SyncScheduler, TraceEvent, Tracer,
+};
 
 /// Build the `n` protocol nodes of a Seap instance.
 pub fn build(n: usize, seed: u64) -> Vec<SeapNode> {
@@ -12,20 +14,20 @@ pub fn build(n: usize, seed: u64) -> Vec<SeapNode> {
     SeapNode::build_cluster(NodeView::extract_all(&topo), SeapConfig::new(seed))
 }
 
-/// Issue every op of a per-node script up front.
-pub fn inject_all(nodes: &mut [SeapNode], scripts: &[Vec<OpKind>]) {
+/// Issue every op of a per-node script up front, returning the issued ids
+/// (callers pass them to the scheduler's `note_injected` for latency
+/// accounting).
+pub fn inject_all(nodes: &mut [SeapNode], scripts: &[Vec<OpKind>]) -> Vec<OpId> {
+    let mut ids = Vec::new();
     for (node, script) in nodes.iter_mut().zip(scripts) {
         for op in script {
-            match op {
-                OpKind::Insert(e) => {
-                    node.issue_insert(e.prio.0, e.payload);
-                }
-                OpKind::DeleteMin => {
-                    node.issue_delete();
-                }
-            }
+            ids.push(match op {
+                OpKind::Insert(e) => node.issue_insert(e.prio.0, e.payload),
+                OpKind::DeleteMin => node.issue_delete(),
+            });
         }
     }
+    ids
 }
 
 /// Collect the merged history of a cluster.
@@ -44,29 +46,71 @@ pub struct SyncRun {
     pub rounds: u64,
     /// Did every request complete within the budget?
     pub completed: bool,
+    /// Per-operation latencies (rounds from injection to completion), in
+    /// completion order — the raw samples behind `metrics.latency`.
+    pub latencies: Vec<u64>,
+}
+
+impl SyncRun {
+    /// Order statistics over this run's operation latencies.
+    pub fn latency(&self) -> LatencySummary {
+        self.metrics.latency
+    }
 }
 
 /// Run a full workload synchronously until every request has completed.
 pub fn run_sync(spec: &WorkloadSpec, max_rounds: u64) -> SyncRun {
-    let mut nodes = build(spec.n, spec.seed);
+    run_sync_traced(spec, max_rounds, NullTracer).0
+}
+
+/// [`run_sync`] with an event sink attached to the scheduler; returns the
+/// sink alongside the run so callers can export the stream.
+pub fn run_sync_traced<T: Tracer>(spec: &WorkloadSpec, max_rounds: u64, tracer: T) -> (SyncRun, T) {
+    let nodes = build(spec.n, spec.seed);
     let scripts = dpq_core::workload::generate(spec);
-    inject_all(&mut nodes, &scripts);
-    let mut sched = SyncScheduler::new(nodes);
+    let mut sched = SyncScheduler::with_tracer(nodes, tracer);
+    for id in inject_all(sched.nodes_mut(), &scripts) {
+        sched.note_injected(id);
+    }
     let out = sched.run_until_pred(max_rounds, |ns| ns.iter().all(SeapNode::all_complete));
-    SyncRun {
+    let run = SyncRun {
         history: history(sched.nodes()),
         metrics: sched.metrics.snapshot(),
         rounds: out.rounds(),
         completed: out.is_quiescent(),
-    }
+        latencies: sched.metrics.latencies().to_vec(),
+    };
+    (run, sched.into_tracer())
 }
 
 /// Run a full workload under the asynchronous adversary.
 pub fn run_async(spec: &WorkloadSpec, sched_seed: u64, max_steps: u64) -> Option<History> {
-    let mut nodes = build(spec.n, spec.seed);
+    run_async_traced(spec, sched_seed, max_steps, NullTracer).0
+}
+
+/// [`run_async`] with an event sink attached to the scheduler.
+pub fn run_async_traced<T: Tracer>(
+    spec: &WorkloadSpec,
+    sched_seed: u64,
+    max_steps: u64,
+    tracer: T,
+) -> (Option<History>, T) {
+    let nodes = build(spec.n, spec.seed);
     let scripts = dpq_core::workload::generate(spec);
-    inject_all(&mut nodes, &scripts);
-    let mut sched = AsyncScheduler::new(nodes, sched_seed);
+    let mut sched =
+        AsyncScheduler::with_tracer(nodes, sched_seed, dpq_sim::AsyncConfig::default(), tracer);
+    for id in inject_all(sched.nodes_mut(), &scripts) {
+        sched.note_injected(id);
+    }
     let ok = sched.run_until_pred(max_steps, |ns| ns.iter().all(SeapNode::all_complete));
-    ok.then(|| history(sched.nodes()))
+    let h = ok.then(|| history(sched.nodes()));
+    (h, sched.into_tracer())
+}
+
+/// A run's trace events (convenience over [`run_sync_traced`] with a
+/// [`dpq_sim::VecTracer`]).
+pub fn trace_sync(spec: &WorkloadSpec, max_rounds: u64) -> Vec<TraceEvent> {
+    run_sync_traced(spec, max_rounds, dpq_sim::VecTracer::new())
+        .1
+        .into_events()
 }

@@ -6,7 +6,7 @@
 
 use dpq_agg::Interval;
 use dpq_core::bitsize::{tag_bits, vlq_bits};
-use dpq_core::{BitSize, Key};
+use dpq_core::{BitSize, Key, MsgKind};
 use dpq_dht::{DhtReq, DhtResp};
 use dpq_overlay::routing::RouteMsg;
 use kselect::KMsg;
@@ -102,6 +102,21 @@ impl BitSize for SeapMsg {
                 SeapMsg::Dht(m) => m.bits(),
                 SeapMsg::Resp(r) => r.bits(),
             }
+    }
+
+    fn kind(&self) -> MsgKind {
+        match self {
+            SeapMsg::Begin { .. } => MsgKind("seap.begin"),
+            SeapMsg::CountUp { .. } => MsgKind("seap.count_up"),
+            SeapMsg::StartInserts { .. } => MsgKind("seap.start_inserts"),
+            SeapMsg::CountBelow { .. } => MsgKind("seap.count_below"),
+            SeapMsg::StoreCountUp { .. } => MsgKind("seap.store_count_up"),
+            SeapMsg::Assign { .. } => MsgKind("seap.assign"),
+            SeapMsg::DoneUp { .. } => MsgKind("seap.done_up"),
+            SeapMsg::K(m) => m.kind(),
+            SeapMsg::Dht(_) => MsgKind("dht.req"),
+            SeapMsg::Resp(_) => MsgKind("dht.resp"),
+        }
     }
 }
 

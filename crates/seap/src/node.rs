@@ -328,6 +328,9 @@ impl SeapNode {
                     self.phase
                 );
                 self.phase = phase;
+                if self.view.is_anchor() {
+                    ctx.phase_mark("seap.phase", phase);
+                }
                 self.collector_count = Collector::new(&self.view.children);
                 let count = if phase % 2 == 0 {
                     self.snapshot_ins = std::mem::take(&mut self.ins_buf);
@@ -469,6 +472,7 @@ impl SeapNode {
                         self.get(poskey(phase, done.lo), id.seq, ctx);
                     } else {
                         self.history.complete(*id, OpReturn::Bottom);
+                        ctx.op_completed(*id);
                     }
                 }
                 self.try_send_done(ctx);
@@ -590,6 +594,7 @@ impl SeapNode {
                 a.stage = AStage::KSel;
                 let (m, k_eff) = (a.m, a.k_eff);
                 let kcfg = self.cfg.kselect;
+                ctx.phase_mark("seap.kselect", phase);
                 // The anchor's embedded instance starts the selection.
                 if self.ks.is_none() {
                     let cands = self.heap_keys();
@@ -691,24 +696,22 @@ impl Protocol for SeapNode {
                     Completion::PutDone { token } => {
                         self.pending_acks -= 1;
                         if token < REPOS_TOKEN {
-                            self.history.complete(
-                                OpId {
-                                    node: self.view.me,
-                                    seq: token,
-                                },
-                                OpReturn::Inserted,
-                            );
+                            let id = OpId {
+                                node: self.view.me,
+                                seq: token,
+                            };
+                            self.history.complete(id, OpReturn::Inserted);
+                            ctx.op_completed(id);
                         }
                     }
                     Completion::GotElement { token, elem } => {
                         self.pending_gets -= 1;
-                        self.history.complete(
-                            OpId {
-                                node: self.view.me,
-                                seq: token,
-                            },
-                            OpReturn::Removed(elem),
-                        );
+                        let id = OpId {
+                            node: self.view.me,
+                            seq: token,
+                        };
+                        self.history.complete(id, OpReturn::Removed(elem));
+                        ctx.op_completed(id);
                     }
                 }
                 self.try_send_done(ctx);

@@ -1,12 +1,13 @@
 //! Message envelopes.
 
-use dpq_core::{BitSize, NodeId};
+use dpq_core::{BitSize, MsgKind, NodeId};
 
-/// A message in flight: payload plus addressing and its measured size.
+/// A message in flight: payload plus addressing, its measured size, and its
+/// telemetry kind.
 ///
-/// The size is computed once at send time so the metrics cost nothing on the
-/// delivery path and the payload type only needs [`BitSize`], not
-/// serialization.
+/// The size and kind are computed once at send time so the metrics cost
+/// nothing on the delivery path and the payload type only needs [`BitSize`],
+/// not serialization.
 #[derive(Debug, Clone)]
 pub struct Envelope<M> {
     /// Sender.
@@ -15,18 +16,22 @@ pub struct Envelope<M> {
     pub dst: NodeId,
     /// Measured payload size.
     pub bits: u64,
+    /// Telemetry label for per-kind accounting.
+    pub kind: MsgKind,
     /// The payload.
     pub msg: M,
 }
 
 impl<M: BitSize> Envelope<M> {
-    /// Wrap a payload, measuring its size once.
+    /// Wrap a payload, measuring its size and kind once.
     pub fn new(src: NodeId, dst: NodeId, msg: M) -> Self {
         let bits = msg.bits();
+        let kind = msg.kind();
         Envelope {
             src,
             dst,
             bits,
+            kind,
             msg,
         }
     }

@@ -26,7 +26,12 @@ pub mod sched_async;
 pub mod sched_sync;
 
 pub use envelope::Envelope;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{
+    KindStat, LatencySummary, Metrics, MetricsDelta, MetricsSnapshot, RoundSample, RoundWindow,
+};
 pub use protocol::{Ctx, Protocol};
 pub use sched_async::{AsyncConfig, AsyncScheduler};
 pub use sched_sync::{RunOutcome, SyncScheduler};
+
+// Re-exported so drivers can plug in a sink without naming dpq-trace.
+pub use dpq_trace::{EventMask, NullTracer, RingTracer, TraceEvent, Tracer, VecTracer};

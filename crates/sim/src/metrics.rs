@@ -1,10 +1,85 @@
-//! Run metrics: rounds, congestion, message counts and sizes.
+//! Run metrics: rounds, congestion, message counts and sizes — now with
+//! per-round time series, per-message-kind accounting, and per-operation
+//! latency tracking.
 //!
 //! The paper's cost measures (§1.1): *rounds* until an operation batch
 //! completes, *congestion* — "the maximum number of messages that need to be
 //! handled by a node in one round" — and per-message *bit size* (Lemmas 3.8,
 //! 5.5, Theorem 4.2). The schedulers update a [`Metrics`] instance as they
-//! run; experiments read a [`MetricsSnapshot`] afterwards.
+//! run; experiments read a [`MetricsSnapshot`] afterwards, and can drill
+//! into [`Metrics::series`] (what did round 37 cost?), [`Metrics::kind_stats`]
+//! (which message family ate the bits?), and [`Metrics::latencies`] (how long
+//! did each operation take from injection to completion?).
+
+use dpq_core::{MsgKind, OpId};
+use std::collections::HashMap;
+
+/// Cap on the per-round series length. A run that exceeds it (only possible
+/// when a protocol stalls against a multi-million-round budget) keeps
+/// counting in the scalar totals but stops appending samples;
+/// [`Metrics::series_truncated`] reports how many rounds were dropped.
+const SERIES_CAP: usize = 1 << 20;
+
+/// One round's (or async sweep window's) traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundSample {
+    /// Messages delivered in the round.
+    pub messages: u64,
+    /// Payload bits delivered in the round.
+    pub bits: u64,
+    /// Maximum messages one node handled in the round.
+    pub congestion: u64,
+    /// Largest single message delivered in the round, in bits.
+    pub max_msg_bits: u64,
+}
+
+/// Aggregate traffic attributed to one message family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindStat {
+    /// The message family label.
+    pub kind: MsgKind,
+    /// Messages of this kind delivered.
+    pub messages: u64,
+    /// Payload bits of this kind delivered.
+    pub bits: u64,
+}
+
+/// Order statistics over completed operation latencies (in rounds/steps).
+///
+/// Percentiles use the nearest-rank method on the completed set; all fields
+/// are zero when no operation has completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Operations completed.
+    pub count: u64,
+    /// Median latency.
+    pub p50: u64,
+    /// 95th-percentile latency.
+    pub p95: u64,
+    /// Maximum latency.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Nearest-rank summary of a latency sample (need not be sorted).
+    pub fn from_samples(samples: &[u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| -> u64 {
+            let r = (p * sorted.len() as f64).ceil() as usize;
+            sorted[r.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            count: sorted.len() as u64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
 
 /// Mutable counters owned by a scheduler.
 #[derive(Debug, Clone, Default)]
@@ -21,6 +96,18 @@ pub struct Metrics {
     pub congestion: u64,
     /// Messages handled per node in the *current* round (scratch space).
     per_node_this_round: Vec<u64>,
+    /// The current round's running sample (scratch space).
+    this_round: RoundSample,
+    /// One sample per closed round, oldest first (capped at `SERIES_CAP`).
+    series: Vec<RoundSample>,
+    /// Rounds not recorded in `series` because the cap was hit.
+    series_truncated: u64,
+    /// Per-message-kind totals (few kinds; linear scan).
+    kinds: Vec<KindStat>,
+    /// Injection time of operations still awaiting completion.
+    pending_ops: HashMap<OpId, u64>,
+    /// Completed operation latencies, in completion order.
+    latencies: Vec<u64>,
 }
 
 impl Metrics {
@@ -32,24 +119,113 @@ impl Metrics {
         }
     }
 
-    /// Record a delivery to `node_index` in the current round.
+    /// Record a delivery of a `kind`-family message to `node_index` in the
+    /// current round.
     #[inline]
-    pub fn on_deliver(&mut self, node_index: usize, bits: u64) {
+    pub fn on_deliver(&mut self, node_index: usize, bits: u64, kind: MsgKind) {
         self.messages += 1;
         self.total_bits += bits;
         self.max_msg_bits = self.max_msg_bits.max(bits);
+        self.this_round.messages += 1;
+        self.this_round.bits += bits;
+        self.this_round.max_msg_bits = self.this_round.max_msg_bits.max(bits);
         let c = &mut self.per_node_this_round[node_index];
         *c += 1;
+        if *c > self.this_round.congestion {
+            self.this_round.congestion = *c;
+        }
         if *c > self.congestion {
             self.congestion = *c;
         }
+        match self.kinds.iter_mut().find(|k| k.kind == kind) {
+            Some(k) => {
+                k.messages += 1;
+                k.bits += bits;
+            }
+            None => self.kinds.push(KindStat {
+                kind,
+                messages: 1,
+                bits,
+            }),
+        }
     }
 
-    /// Close the current round: bump the round counter and reset the
-    /// per-node tallies.
+    /// The current (still open) round's running sample.
+    #[inline]
+    pub fn this_round(&self) -> RoundSample {
+        self.this_round
+    }
+
+    /// Close the current round: bump the round counter, append the round's
+    /// sample to the series, and reset the per-round scratch.
     pub fn end_round(&mut self) {
         self.rounds += 1;
+        if self.series.len() < SERIES_CAP {
+            self.series.push(self.this_round);
+        } else {
+            self.series_truncated += 1;
+        }
+        self.this_round = RoundSample::default();
         self.per_node_this_round.fill(0);
+    }
+
+    /// One sample per closed round, oldest first.
+    pub fn series(&self) -> &[RoundSample] {
+        &self.series
+    }
+
+    /// Rounds whose samples were dropped because the series cap was hit.
+    pub fn series_truncated(&self) -> u64 {
+        self.series_truncated
+    }
+
+    /// Per-message-kind delivery totals, in first-seen order.
+    pub fn kind_stats(&self) -> &[KindStat] {
+        &self.kinds
+    }
+
+    /// Completed operation latencies (rounds from injection to completion),
+    /// in completion order.
+    pub fn latencies(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// Record that `op` entered the system at logical time `now`. Until a
+    /// matching [`Metrics::note_completed`], the op counts as pending.
+    pub fn note_injected(&mut self, op: OpId, now: u64) {
+        self.pending_ops.insert(op, now);
+    }
+
+    /// Record that `op` produced its return value at logical time `now`.
+    /// Ops never noted as injected are ignored (protocol-internal traffic).
+    pub fn note_completed(&mut self, op: OpId, now: u64) {
+        if let Some(t0) = self.pending_ops.remove(&op) {
+            self.latencies.push(now.saturating_sub(t0));
+        }
+    }
+
+    /// Operations injected but not yet completed.
+    pub fn pending_ops(&self) -> usize {
+        self.pending_ops.len()
+    }
+
+    /// True windowed statistics over the closed rounds `[from_round, rounds)`
+    /// — including correct windowed *maxima*, which snapshot differencing
+    /// cannot provide. Rounds dropped by the series cap cannot be windowed;
+    /// the window silently starts at the oldest retained sample.
+    pub fn window(&self, from_round: u64) -> RoundWindow {
+        let skip = (from_round.min(self.rounds) as usize).min(self.series.len());
+        let mut w = RoundWindow {
+            rounds: self.series.len().saturating_sub(skip) as u64,
+            ..Default::default()
+        };
+        for s in &self.series[skip..] {
+            w.messages += s.messages;
+            w.total_bits += s.bits;
+            w.congestion = w.congestion.max(s.congestion);
+            w.max_msg_bits = w.max_msg_bits.max(s.max_msg_bits);
+        }
+        w
     }
 
     /// Immutable copy of the current counters.
@@ -60,6 +236,7 @@ impl Metrics {
             total_bits: self.total_bits,
             max_msg_bits: self.max_msg_bits,
             congestion: self.congestion,
+            latency: LatencySummary::from_samples(&self.latencies),
         }
     }
 
@@ -84,50 +261,92 @@ pub struct MetricsSnapshot {
     pub max_msg_bits: u64,
     /// Max messages handled by one node in one round.
     pub congestion: u64,
+    /// Order statistics over completed operation latencies.
+    pub latency: LatencySummary,
+}
+
+/// Difference of two snapshots of the same run.
+///
+/// Monotone counters subtract exactly; max-type measures (`max_msg_bits`,
+/// `congestion`) are whole-run maxima, so their windowed values are **not
+/// derivable** from two snapshots — they are `Some` only when the earlier
+/// snapshot saw no traffic (the window is the whole run). Callers needing
+/// real windowed maxima should use [`Metrics::window`] (backed by the
+/// per-round series) or [`Metrics::reset`] before the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsDelta {
+    /// Rounds elapsed within the window.
+    pub rounds: u64,
+    /// Messages delivered within the window.
+    pub messages: u64,
+    /// Payload bits delivered within the window.
+    pub total_bits: u64,
+    /// Largest single message in the window — `None` unless derivable.
+    pub max_msg_bits: Option<u64>,
+    /// Window congestion — `None` unless derivable.
+    pub congestion: Option<u64>,
 }
 
 impl MetricsSnapshot {
-    /// Difference of two snapshots of the same run (later minus earlier) for
-    /// the monotone counters; max-type measures are taken from `self`
-    /// (callers measuring a window should `reset()` instead when they need
-    /// windowed maxima).
-    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
-        MetricsSnapshot {
+    /// Difference of two snapshots of the same run (later minus earlier).
+    /// See [`MetricsDelta`] for why the maxima are `Option`.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsDelta {
+        let whole_run = earlier.messages == 0;
+        MetricsDelta {
             rounds: self.rounds - earlier.rounds,
             messages: self.messages - earlier.messages,
             total_bits: self.total_bits - earlier.total_bits,
-            max_msg_bits: self.max_msg_bits,
-            congestion: self.congestion,
+            max_msg_bits: whole_run.then_some(self.max_msg_bits),
+            congestion: whole_run.then_some(self.congestion),
         }
     }
+}
+
+/// Windowed run statistics computed from the per-round series — unlike
+/// [`MetricsSnapshot::since`], the maxima here are true window maxima.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundWindow {
+    /// Closed rounds in the window.
+    pub rounds: u64,
+    /// Messages delivered in the window.
+    pub messages: u64,
+    /// Payload bits delivered in the window.
+    pub total_bits: u64,
+    /// Largest single message in the window, in bits.
+    pub max_msg_bits: u64,
+    /// Max messages handled by one node in one round of the window.
+    pub congestion: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpq_core::NodeId;
+
+    const K: MsgKind = MsgKind("test");
 
     #[test]
     fn congestion_tracks_per_round_maximum() {
         let mut m = Metrics::new(3);
-        m.on_deliver(0, 10);
-        m.on_deliver(0, 10);
-        m.on_deliver(1, 10);
+        m.on_deliver(0, 10, K);
+        m.on_deliver(0, 10, K);
+        m.on_deliver(1, 10, K);
         assert_eq!(m.congestion, 2);
         m.end_round();
         // New round: node 0 handles one message; max stays 2.
-        m.on_deliver(0, 10);
+        m.on_deliver(0, 10, K);
         assert_eq!(m.congestion, 2);
-        m.on_deliver(2, 10);
-        m.on_deliver(2, 10);
-        m.on_deliver(2, 10);
+        m.on_deliver(2, 10, K);
+        m.on_deliver(2, 10, K);
+        m.on_deliver(2, 10, K);
         assert_eq!(m.congestion, 3);
     }
 
     #[test]
     fn totals_accumulate() {
         let mut m = Metrics::new(1);
-        m.on_deliver(0, 5);
-        m.on_deliver(0, 7);
+        m.on_deliver(0, 5, K);
+        m.on_deliver(0, 7, K);
         let s = m.snapshot();
         assert_eq!(s.messages, 2);
         assert_eq!(s.total_bits, 12);
@@ -135,25 +354,160 @@ mod tests {
     }
 
     #[test]
-    fn since_diffs_monotone_counters() {
+    fn since_diffs_monotone_counters_and_guards_maxima() {
         let mut m = Metrics::new(1);
-        m.on_deliver(0, 5);
+        m.on_deliver(0, 5, K);
         m.end_round();
         let early = m.snapshot();
-        m.on_deliver(0, 9);
+        m.on_deliver(0, 9, K);
         m.end_round();
         let d = m.snapshot().since(&early);
         assert_eq!(d.rounds, 1);
         assert_eq!(d.messages, 1);
         assert_eq!(d.total_bits, 9);
+        // The window starts after traffic, so maxima are not derivable.
+        assert_eq!(d.max_msg_bits, None);
+        assert_eq!(d.congestion, None);
+        // A whole-run window keeps them.
+        let whole = m.snapshot().since(&MetricsSnapshot::default());
+        assert_eq!(whole.max_msg_bits, Some(9));
+        assert_eq!(whole.congestion, Some(1));
+    }
+
+    #[test]
+    fn window_computes_true_windowed_maxima() {
+        let mut m = Metrics::new(2);
+        // Round 0: big traffic.
+        m.on_deliver(0, 100, K);
+        m.on_deliver(0, 100, K);
+        m.end_round();
+        // Rounds 1-2: small traffic.
+        m.on_deliver(1, 7, K);
+        m.end_round();
+        m.on_deliver(0, 3, K);
+        m.end_round();
+        let w = m.window(1);
+        assert_eq!(w.rounds, 2);
+        assert_eq!(w.messages, 2);
+        assert_eq!(w.total_bits, 10);
+        assert_eq!(w.max_msg_bits, 7); // NOT the round-0 value 100
+        assert_eq!(w.congestion, 1); // NOT the round-0 value 2
+        let whole = m.window(0);
+        assert_eq!(whole.max_msg_bits, 100);
+        assert_eq!(whole.congestion, 2);
+    }
+
+    #[test]
+    fn series_records_each_round() {
+        let mut m = Metrics::new(2);
+        m.on_deliver(0, 4, K);
+        m.end_round();
+        m.end_round(); // empty round
+        m.on_deliver(1, 6, K);
+        m.on_deliver(1, 2, K);
+        m.end_round();
+        let s = m.series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s[0],
+            RoundSample {
+                messages: 1,
+                bits: 4,
+                congestion: 1,
+                max_msg_bits: 4
+            }
+        );
+        assert_eq!(s[1], RoundSample::default());
+        assert_eq!(
+            s[2],
+            RoundSample {
+                messages: 2,
+                bits: 8,
+                congestion: 2,
+                max_msg_bits: 6
+            }
+        );
+    }
+
+    #[test]
+    fn kind_stats_attribute_traffic() {
+        let a = MsgKind("a");
+        let b = MsgKind("b");
+        let mut m = Metrics::new(1);
+        m.on_deliver(0, 5, a);
+        m.on_deliver(0, 7, b);
+        m.on_deliver(0, 1, a);
+        let stats = m.kind_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            stats[0],
+            KindStat {
+                kind: a,
+                messages: 2,
+                bits: 6
+            }
+        );
+        assert_eq!(
+            stats[1],
+            KindStat {
+                kind: b,
+                messages: 1,
+                bits: 7
+            }
+        );
+    }
+
+    #[test]
+    fn latency_tracks_inject_to_complete() {
+        let op = |seq| OpId {
+            node: NodeId(0),
+            seq,
+        };
+        let mut m = Metrics::new(1);
+        m.note_injected(op(0), 2);
+        m.note_injected(op(1), 2);
+        m.note_completed(op(0), 5);
+        // Unknown op: ignored.
+        m.note_completed(op(99), 9);
+        assert_eq!(m.latencies(), &[3]);
+        assert_eq!(m.pending_ops(), 1);
+        m.note_completed(op(1), 12);
+        assert_eq!(m.latencies(), &[3, 10]);
+        let s = m.snapshot().latency;
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.p95, 10);
+        assert_eq!(s.max, 10);
+    }
+
+    #[test]
+    fn latency_summary_percentiles_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.max, 100);
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let one = LatencySummary::from_samples(&[7]);
+        assert_eq!((one.p50, one.p95, one.max), (7, 7, 7));
     }
 
     #[test]
     fn reset_clears_counters_but_keeps_width() {
         let mut m = Metrics::new(2);
-        m.on_deliver(1, 3);
+        m.on_deliver(1, 3, K);
+        m.note_injected(
+            OpId {
+                node: NodeId(1),
+                seq: 0,
+            },
+            0,
+        );
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
-        m.on_deliver(1, 3); // must not panic: width preserved
+        assert!(m.series().is_empty() && m.kind_stats().is_empty());
+        assert_eq!(m.pending_ops(), 0);
+        m.on_deliver(1, 3, K); // must not panic: width preserved
     }
 }

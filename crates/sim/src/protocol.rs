@@ -1,7 +1,28 @@
 //! The protocol trait and the context handed to protocol code.
 
 use crate::envelope::Envelope;
-use dpq_core::{BitSize, NodeId};
+use dpq_core::{BitSize, NodeId, OpId};
+
+/// A telemetry note a protocol leaves in its [`Ctx`] for the scheduler.
+///
+/// Scheduler turns drain these after each node runs: phase marks flow to the
+/// tracer, operation completions additionally close the op's latency window
+/// in the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CtxEvent {
+    /// A named protocol phase boundary.
+    Phase {
+        /// Phase label (e.g. `"skeap.batch"`).
+        label: &'static str,
+        /// Phase payload (cycle/phase/iteration number).
+        value: u64,
+    },
+    /// An injected operation produced its return value.
+    OpDone {
+        /// The completed operation.
+        op: OpId,
+    },
+}
 
 /// Execution context for one activation or message delivery.
 ///
@@ -10,10 +31,15 @@ use dpq_core::{BitSize, NodeId};
 /// finite delay in the asynchronous model). Sends are buffered here rather
 /// than applied immediately so a node can never observe its own same-round
 /// sends — exactly the paper's channel semantics.
+///
+/// [`Ctx::phase_mark`] and [`Ctx::op_completed`] are telemetry hooks: they
+/// never change protocol behavior, only what the schedulers' metrics and
+/// tracer observe.
 pub struct Ctx<M> {
     me: NodeId,
     now: u64,
     outbox: Vec<Envelope<M>>,
+    events: Vec<CtxEvent>,
 }
 
 impl<M: BitSize> Ctx<M> {
@@ -22,6 +48,7 @@ impl<M: BitSize> Ctx<M> {
             me,
             now,
             outbox: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -54,8 +81,24 @@ impl<M: BitSize> Ctx<M> {
         }
     }
 
+    /// Announce a named phase boundary (e.g. a Skeap batch cycle starting,
+    /// a KSelect phase transition). Pure telemetry; free when untraced.
+    pub fn phase_mark(&mut self, label: &'static str, value: u64) {
+        self.events.push(CtxEvent::Phase { label, value });
+    }
+
+    /// Announce that operation `op` produced its return value. Closes the
+    /// op's latency window if a driver registered its injection.
+    pub fn op_completed(&mut self, op: OpId) {
+        self.events.push(CtxEvent::OpDone { op });
+    }
+
     pub(crate) fn take_outbox(&mut self) -> Vec<Envelope<M>> {
         std::mem::take(&mut self.outbox)
+    }
+
+    pub(crate) fn take_events(&mut self) -> Vec<CtxEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

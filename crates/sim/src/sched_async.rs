@@ -15,8 +15,9 @@
 
 use crate::envelope::Envelope;
 use crate::metrics::Metrics;
-use crate::protocol::{Ctx, Protocol};
-use dpq_core::{DetRng, NodeId};
+use crate::protocol::{Ctx, CtxEvent, Protocol};
+use dpq_core::{DetRng, NodeId, OpId};
+use dpq_trace::{NullTracer, TraceEvent, Tracer};
 
 /// Tunables for the asynchronous adversary.
 #[derive(Debug, Clone, Copy)]
@@ -47,12 +48,18 @@ impl Default for AsyncConfig {
 }
 
 /// Randomized asynchronous scheduler.
-pub struct AsyncScheduler<P: Protocol> {
+///
+/// Generic over a [`Tracer`] sink like the synchronous scheduler; the time
+/// axis of its events is the adversary *step* counter (there are no rounds,
+/// so no `RoundEnd` events are emitted).
+pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     nodes: Vec<P>,
     /// In-flight messages with the step they were sent at.
     in_flight: Vec<(u64, Envelope<P::Msg>)>,
     /// Run metrics (steps, messages, bits, congestion).
     pub metrics: Metrics,
+    /// The event sink.
+    pub tracer: T,
     rng: DetRng,
     cfg: AsyncConfig,
     step: u64,
@@ -64,16 +71,42 @@ impl<P: Protocol> AsyncScheduler<P> {
         Self::with_config(nodes, seed, AsyncConfig::default())
     }
 
-    /// Custom adversary configuration.
+    /// Custom adversary configuration, untraced.
     pub fn with_config(nodes: Vec<P>, seed: u64, cfg: AsyncConfig) -> Self {
+        Self::with_tracer(nodes, seed, cfg, NullTracer)
+    }
+}
+
+impl<P: Protocol, T: Tracer> AsyncScheduler<P, T> {
+    /// Custom adversary configuration with an event sink.
+    pub fn with_tracer(nodes: Vec<P>, seed: u64, cfg: AsyncConfig, tracer: T) -> Self {
         let n = nodes.len();
         AsyncScheduler {
             nodes,
             in_flight: Vec::new(),
             metrics: Metrics::new(n),
+            tracer,
             rng: DetRng::new(seed),
             cfg,
             step: 0,
+        }
+    }
+
+    /// Consume the scheduler, yielding its event sink.
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// Register that the driver just injected `op` into its issuing node;
+    /// starts the op's latency clock at the current step.
+    pub fn note_injected(&mut self, op: OpId) {
+        self.metrics.note_injected(op, self.step);
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::OpInjected {
+                round: self.step,
+                node: op.node,
+                op,
+            });
         }
     }
 
@@ -108,18 +141,73 @@ impl<P: Protocol> AsyncScheduler<P> {
     }
 
     fn run_node<F: FnOnce(&mut P, &mut Ctx<P::Msg>)>(&mut self, i: usize, f: F) {
-        let mut ctx = Ctx::new(NodeId(i as u64), self.step);
+        let me = NodeId(i as u64);
+        let mut ctx = Ctx::new(me, self.step);
         f(&mut self.nodes[i], &mut ctx);
+        for ev in ctx.take_events() {
+            match ev {
+                CtxEvent::Phase { label, value } => {
+                    if T::ENABLED {
+                        self.tracer.record(TraceEvent::PhaseMark {
+                            round: self.step,
+                            node: me,
+                            label,
+                            value,
+                        });
+                    }
+                }
+                CtxEvent::OpDone { op } => {
+                    self.metrics.note_completed(op, self.step);
+                    if T::ENABLED {
+                        self.tracer.record(TraceEvent::OpCompleted {
+                            round: self.step,
+                            node: me,
+                            op,
+                        });
+                    }
+                }
+            }
+        }
         let step = self.step;
-        self.in_flight
-            .extend(ctx.take_outbox().into_iter().map(|e| (step, e)));
+        let outbox = ctx.take_outbox();
+        if T::ENABLED {
+            for env in &outbox {
+                self.tracer.record(TraceEvent::Send {
+                    round: step,
+                    src: env.src,
+                    dst: env.dst,
+                    kind: env.kind,
+                    bits: env.bits,
+                });
+            }
+        }
+        self.in_flight.extend(outbox.into_iter().map(|e| (step, e)));
     }
 
     fn deliver_at(&mut self, idx: usize) {
         let (_, env) = self.in_flight.swap_remove(idx);
         let dst = env.dst.index();
-        self.metrics.on_deliver(dst, env.bits);
+        self.metrics.on_deliver(dst, env.bits, env.kind);
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::Deliver {
+                round: self.step,
+                src: env.src,
+                dst: env.dst,
+                kind: env.kind,
+                bits: env.bits,
+            });
+        }
         self.run_node(dst, |n, ctx| n.on_message(env.src, env.msg, ctx));
+    }
+
+    fn activate(&mut self, i: usize) {
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::Activate {
+                round: self.step,
+                node: NodeId(i as u64),
+            });
+        }
+        self.run_node(i, |n, ctx| n.on_activate(ctx));
     }
 
     /// One adversary step.
@@ -127,7 +215,7 @@ impl<P: Protocol> AsyncScheduler<P> {
         self.step += 1;
         if self.cfg.sweep_every > 0 && self.step.is_multiple_of(self.cfg.sweep_every) {
             for i in 0..self.nodes.len() {
-                self.run_node(i, |n, ctx| n.on_activate(ctx));
+                self.activate(i);
             }
             return;
         }
@@ -151,7 +239,7 @@ impl<P: Protocol> AsyncScheduler<P> {
             self.deliver_at(idx);
         } else {
             let i = self.rng.below(self.nodes.len() as u64) as usize;
-            self.run_node(i, |n, ctx| n.on_activate(ctx));
+            self.activate(i);
         }
     }
 

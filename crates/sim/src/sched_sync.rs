@@ -8,8 +8,9 @@
 
 use crate::envelope::Envelope;
 use crate::metrics::Metrics;
-use crate::protocol::{Ctx, Protocol};
-use dpq_core::NodeId;
+use crate::protocol::{Ctx, CtxEvent, Protocol};
+use dpq_core::{NodeId, OpId};
+use dpq_trace::{NullTracer, TraceEvent, Tracer};
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +42,11 @@ impl RunOutcome {
 }
 
 /// Lock-step scheduler over `n` protocol instances.
-pub struct SyncScheduler<P: Protocol> {
+///
+/// Generic over a [`Tracer`] sink; the default [`NullTracer`] advertises
+/// `ENABLED = false`, so untraced schedulers compile to exactly the code
+/// they had before tracing existed.
+pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     nodes: Vec<P>,
     /// Messages sent in the previous round, grouped per destination,
     /// deliverable now.
@@ -50,19 +55,47 @@ pub struct SyncScheduler<P: Protocol> {
     next: Vec<Envelope<P::Msg>>,
     /// Run metrics (rounds, messages, bits, congestion).
     pub metrics: Metrics,
+    /// The event sink.
+    pub tracer: T,
     round: u64,
 }
 
 impl<P: Protocol> SyncScheduler<P> {
-    /// Wrap `n` protocol instances (index i = `NodeId(i)`).
+    /// Wrap `n` protocol instances (index i = `NodeId(i)`), untraced.
     pub fn new(nodes: Vec<P>) -> Self {
+        Self::with_tracer(nodes, NullTracer)
+    }
+}
+
+impl<P: Protocol, T: Tracer> SyncScheduler<P, T> {
+    /// Wrap `n` protocol instances with an event sink.
+    pub fn with_tracer(nodes: Vec<P>, tracer: T) -> Self {
         let n = nodes.len();
         SyncScheduler {
             nodes,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             next: Vec::new(),
             metrics: Metrics::new(n),
+            tracer,
             round: 0,
+        }
+    }
+
+    /// Consume the scheduler, yielding its event sink.
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// Register that the driver just injected `op` into its issuing node;
+    /// starts the op's latency clock at the current round.
+    pub fn note_injected(&mut self, op: OpId) {
+        self.metrics.note_injected(op, self.round);
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::OpInjected {
+                round: self.round,
+                node: op.node,
+                op,
+            });
         }
     }
 
@@ -111,17 +144,82 @@ impl<P: Protocol> SyncScheduler<P> {
             let mut ctx = Ctx::new(me, self.round);
             let inbox = std::mem::take(&mut self.inboxes[i]);
             for env in inbox {
-                self.metrics.on_deliver(i, env.bits);
+                self.metrics.on_deliver(i, env.bits, env.kind);
+                if T::ENABLED {
+                    self.tracer.record(TraceEvent::Deliver {
+                        round: self.round,
+                        src: env.src,
+                        dst: env.dst,
+                        kind: env.kind,
+                        bits: env.bits,
+                    });
+                }
                 self.nodes[i].on_message(env.src, env.msg, &mut ctx);
             }
+            if T::ENABLED {
+                self.tracer.record(TraceEvent::Activate {
+                    round: self.round,
+                    node: me,
+                });
+            }
             self.nodes[i].on_activate(&mut ctx);
-            self.next.append(&mut ctx.take_outbox());
+            self.drain_ctx_events(me, &mut ctx);
+            let outbox = ctx.take_outbox();
+            if T::ENABLED {
+                for env in &outbox {
+                    self.tracer.record(TraceEvent::Send {
+                        round: self.round,
+                        src: env.src,
+                        dst: env.dst,
+                        kind: env.kind,
+                        bits: env.bits,
+                    });
+                }
+            }
+            self.next.extend(outbox);
         }
         for env in self.next.drain(..) {
             self.inboxes[env.dst.index()].push(env);
         }
+        if T::ENABLED {
+            let s = self.metrics.this_round();
+            self.tracer.record(TraceEvent::RoundEnd {
+                round: self.round,
+                messages: s.messages,
+                bits: s.bits,
+                congestion: s.congestion,
+            });
+        }
         self.metrics.end_round();
         self.round += 1;
+    }
+
+    /// Flush a node turn's telemetry notes into the metrics and tracer.
+    fn drain_ctx_events(&mut self, me: NodeId, ctx: &mut Ctx<P::Msg>) {
+        for ev in ctx.take_events() {
+            match ev {
+                CtxEvent::Phase { label, value } => {
+                    if T::ENABLED {
+                        self.tracer.record(TraceEvent::PhaseMark {
+                            round: self.round,
+                            node: me,
+                            label,
+                            value,
+                        });
+                    }
+                }
+                CtxEvent::OpDone { op } => {
+                    self.metrics.note_completed(op, self.round);
+                    if T::ENABLED {
+                        self.tracer.record(TraceEvent::OpCompleted {
+                            round: self.round,
+                            node: me,
+                            op,
+                        });
+                    }
+                }
+            }
+        }
     }
 
     /// True when nothing is in flight and every node reports done.
@@ -140,16 +238,21 @@ impl<P: Protocol> SyncScheduler<P> {
     /// condition, not quiescence.
     pub fn run_until_pred(&mut self, max_rounds: u64, pred: impl Fn(&[P]) -> bool) -> RunOutcome {
         let start = self.round;
-        while self.round - start < max_rounds {
+        loop {
+            // Checked before each step AND once more after the final one, so
+            // a workload completing exactly at the budget boundary reports
+            // `Quiescent`, not `Budget`.
             if pred(&self.nodes) {
                 return RunOutcome::Quiescent {
                     rounds: self.round - start,
                 };
             }
+            if self.round - start >= max_rounds {
+                return RunOutcome::Budget {
+                    rounds: self.round - start,
+                };
+            }
             self.step_round();
-        }
-        RunOutcome::Budget {
-            rounds: self.round - start,
         }
     }
 
@@ -158,16 +261,20 @@ impl<P: Protocol> SyncScheduler<P> {
     /// `done()` alone cannot express (e.g. "all requests answered").
     pub fn run_until(&mut self, max_rounds: u64, pred: impl Fn(&[P]) -> bool) -> RunOutcome {
         let start = self.round;
-        while self.round - start < max_rounds {
+        loop {
+            // Same final re-check as `run_until_pred`: quiescence reached on
+            // the budget's last round still counts.
             if self.quiescent() && pred(&self.nodes) {
                 return RunOutcome::Quiescent {
                     rounds: self.round - start,
                 };
             }
+            if self.round - start >= max_rounds {
+                return RunOutcome::Budget {
+                    rounds: self.round - start,
+                };
+            }
             self.step_round();
-        }
-        RunOutcome::Budget {
-            rounds: self.round - start,
         }
     }
 }
@@ -251,6 +358,23 @@ mod tests {
         let out = s.run_until_quiescent(3);
         assert!(!out.is_quiescent());
         assert_eq!(out.rounds(), 3);
+    }
+
+    #[test]
+    fn completion_exactly_at_budget_is_quiescent() {
+        // First measure how many rounds the ring needs, then re-run with a
+        // budget of exactly that: the final-round re-check must still report
+        // quiescence rather than budget exhaustion.
+        let mut probe = ring(8);
+        let need = probe.run_until_quiescent(100).rounds();
+        let mut s = ring(8);
+        let out = s.run_until_quiescent(need);
+        assert!(out.is_quiescent(), "completion at the boundary misreported");
+        assert_eq!(out.rounds(), need);
+        // Same boundary via run_until_pred.
+        let mut s = ring(8);
+        let out = s.run_until_pred(need, |nodes| nodes.iter().all(|n| n.seen));
+        assert!(out.is_quiescent());
     }
 
     #[test]

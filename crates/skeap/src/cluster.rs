@@ -2,9 +2,12 @@
 
 use crate::node::{SkeapConfig, SkeapNode};
 use dpq_core::workload::WorkloadSpec;
-use dpq_core::{History, NodeId, OpKind};
+use dpq_core::{History, NodeId, OpId, OpKind};
 use dpq_overlay::{NodeView, Topology};
-use dpq_sim::{AsyncScheduler, MetricsSnapshot, SyncScheduler};
+use dpq_sim::{
+    AsyncConfig, AsyncScheduler, LatencySummary, MetricsSnapshot, NullTracer, SyncScheduler,
+    TraceEvent, Tracer,
+};
 
 /// Build the `n` protocol nodes of a Skeap instance.
 pub fn build(n: usize, n_prios: usize, seed: u64) -> Vec<SkeapNode> {
@@ -12,33 +15,39 @@ pub fn build(n: usize, n_prios: usize, seed: u64) -> Vec<SkeapNode> {
     SkeapNode::build_cluster(NodeView::extract_all(&topo), SkeapConfig::fifo(n_prios))
 }
 
-/// Issue every op of a per-node script up front.
-pub fn inject_all(nodes: &mut [SkeapNode], scripts: &[Vec<OpKind>]) {
+/// Issue every op of a per-node script up front, returning the issued ids
+/// (callers pass them to the scheduler's `note_injected` for latency
+/// accounting).
+pub fn inject_all(nodes: &mut [SkeapNode], scripts: &[Vec<OpKind>]) -> Vec<OpId> {
+    let mut ids = Vec::new();
     for (node, script) in nodes.iter_mut().zip(scripts) {
         for op in script {
-            node.issue(*op);
+            ids.push(node.issue(*op));
         }
     }
+    ids
 }
 
-/// Issue up to `rate` ops per node from the scripts, returning true while
-/// any script still has ops left. Used for injection-rate (λ) experiments.
+/// Issue up to `rate` ops per node from the scripts. Returns the issued ids
+/// and whether any script still has ops left. Used for injection-rate (λ)
+/// experiments.
 pub fn inject_rate(
     nodes: &mut [SkeapNode],
     scripts: &[Vec<OpKind>],
     cursor: &mut [usize],
     rate: usize,
-) -> bool {
+) -> (Vec<OpId>, bool) {
+    let mut ids = Vec::new();
     let mut any_left = false;
     for ((node, script), cur) in nodes.iter_mut().zip(scripts).zip(cursor.iter_mut()) {
         let end = (*cur + rate).min(script.len());
         for op in &script[*cur..end] {
-            node.issue(*op);
+            ids.push(node.issue(*op));
         }
         *cur = end;
         any_left |= *cur < script.len();
     }
-    any_left
+    (ids, any_left)
 }
 
 /// Collect the merged history of a cluster.
@@ -57,22 +66,48 @@ pub struct SyncRun {
     pub rounds: u64,
     /// Did every request complete within the budget?
     pub completed: bool,
+    /// Per-operation latencies (rounds from injection to completion), in
+    /// completion order — the raw samples behind `metrics.latency`, kept so
+    /// experiments can merge distributions across seeds.
+    pub latencies: Vec<u64>,
+}
+
+impl SyncRun {
+    /// Order statistics over this run's operation latencies.
+    pub fn latency(&self) -> LatencySummary {
+        self.metrics.latency
+    }
 }
 
 /// Run a full workload synchronously: inject everything, run rounds until
 /// every request has completed.
 pub fn run_sync(spec: &WorkloadSpec, n_prios: usize, max_rounds: u64) -> SyncRun {
-    let mut nodes = build(spec.n, n_prios, spec.seed);
+    run_sync_traced(spec, n_prios, max_rounds, NullTracer).0
+}
+
+/// [`run_sync`] with an event sink attached to the scheduler; returns the
+/// sink alongside the run so callers can export the stream.
+pub fn run_sync_traced<T: Tracer>(
+    spec: &WorkloadSpec,
+    n_prios: usize,
+    max_rounds: u64,
+    tracer: T,
+) -> (SyncRun, T) {
+    let nodes = build(spec.n, n_prios, spec.seed);
     let scripts = dpq_core::workload::generate(spec);
-    inject_all(&mut nodes, &scripts);
-    let mut sched = SyncScheduler::new(nodes);
+    let mut sched = SyncScheduler::with_tracer(nodes, tracer);
+    for id in inject_all(sched.nodes_mut(), &scripts) {
+        sched.note_injected(id);
+    }
     let out = sched.run_until_pred(max_rounds, |ns| ns.iter().all(SkeapNode::all_complete));
-    SyncRun {
+    let run = SyncRun {
         history: history(sched.nodes()),
         metrics: sched.metrics.snapshot(),
         rounds: out.rounds(),
         completed: out.is_quiescent(),
-    }
+        latencies: sched.metrics.latencies().to_vec(),
+    };
+    (run, sched.into_tracer())
 }
 
 /// Run a full workload under the asynchronous adversary.
@@ -82,12 +117,34 @@ pub fn run_async(
     sched_seed: u64,
     max_steps: u64,
 ) -> Option<History> {
-    let mut nodes = build(spec.n, n_prios, spec.seed);
+    run_async_traced(spec, n_prios, sched_seed, max_steps, NullTracer).0
+}
+
+/// [`run_async`] with an event sink attached to the scheduler.
+pub fn run_async_traced<T: Tracer>(
+    spec: &WorkloadSpec,
+    n_prios: usize,
+    sched_seed: u64,
+    max_steps: u64,
+    tracer: T,
+) -> (Option<History>, T) {
+    let nodes = build(spec.n, n_prios, spec.seed);
     let scripts = dpq_core::workload::generate(spec);
-    inject_all(&mut nodes, &scripts);
-    let mut sched = AsyncScheduler::new(nodes, sched_seed);
+    let mut sched = AsyncScheduler::with_tracer(nodes, sched_seed, AsyncConfig::default(), tracer);
+    for id in inject_all(sched.nodes_mut(), &scripts) {
+        sched.note_injected(id);
+    }
     let ok = sched.run_until_pred(max_steps, |ns| ns.iter().all(SkeapNode::all_complete));
-    ok.then(|| history(sched.nodes()))
+    let h = ok.then(|| history(sched.nodes()));
+    (h, sched.into_tracer())
+}
+
+/// A run's trace events (convenience over [`run_sync_traced`] with a
+/// [`dpq_sim::VecTracer`]).
+pub fn trace_sync(spec: &WorkloadSpec, n_prios: usize, max_rounds: u64) -> Vec<TraceEvent> {
+    run_sync_traced(spec, n_prios, max_rounds, dpq_sim::VecTracer::new())
+        .1
+        .into_events()
 }
 
 /// Convenience: the anchor's node id of a freshly built cluster (used by

@@ -3,7 +3,7 @@
 use crate::anchor::EntryAssign;
 use crate::batch::Batch;
 use dpq_core::bitsize::{tag_bits, vlq_bits};
-use dpq_core::BitSize;
+use dpq_core::{BitSize, MsgKind};
 use dpq_dht::{DhtReq, DhtResp};
 use dpq_overlay::routing::RouteMsg;
 
@@ -40,6 +40,15 @@ impl BitSize for SkeapMsg {
                 SkeapMsg::Dht(m) => m.bits(),
                 SkeapMsg::Resp(r) => r.bits(),
             }
+    }
+
+    fn kind(&self) -> MsgKind {
+        match self {
+            SkeapMsg::BatchUp { .. } => MsgKind("skeap.batch_up"),
+            SkeapMsg::Down { .. } => MsgKind("skeap.down"),
+            SkeapMsg::Dht(_) => MsgKind("dht.req"),
+            SkeapMsg::Resp(_) => MsgKind("dht.resp"),
+        }
     }
 }
 

@@ -220,6 +220,9 @@ impl SkeapNode {
             .collect();
         self.sent_up = true;
         if self.anchor.is_some() {
+            // The anchor closing Phase 1 and running Phase 2 is the batch
+            // cycle's global heartbeat — mark it for traces.
+            ctx.phase_mark("skeap.batch", self.cycle);
             let assigns = self
                 .anchor
                 .as_mut()
@@ -296,6 +299,7 @@ impl SkeapNode {
                         assert!(g.bottom > 0, "delete with neither position nor ⊥");
                         g.bottom -= 1;
                         self.history.complete(*id, OpReturn::Bottom);
+                        ctx.op_completed(*id);
                     }
                 }
             }
@@ -363,6 +367,7 @@ impl Protocol for SkeapNode {
                         seq: token,
                     };
                     self.history.complete(id, OpReturn::Inserted);
+                    ctx.op_completed(id);
                 }
                 Completion::GotElement { token, elem } => {
                     let id = OpId {
@@ -370,6 +375,7 @@ impl Protocol for SkeapNode {
                         seq: token,
                     };
                     self.history.complete(id, OpReturn::Removed(elem));
+                    ctx.op_completed(id);
                 }
             },
         }

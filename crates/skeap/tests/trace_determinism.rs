@@ -1,0 +1,76 @@
+//! Trace determinism: the event stream is a pure function of the seeds, and
+//! recording it never perturbs the run.
+//!
+//! Two properties, each checked under both schedulers:
+//!
+//! * **replay determinism** — two runs of the same seeded workload emit
+//!   byte-identical JSONL event streams;
+//! * **observer neutrality** — running with the no-op tracer produces
+//!   exactly the same `MetricsSnapshot` (and history) as a fully traced
+//!   run, i.e. tracing is read-only.
+
+use dpq_core::workload::WorkloadSpec;
+use dpq_trace::write_jsonl;
+use proptest::prelude::*;
+use skeap::cluster;
+
+const N_PRIOS: usize = 2;
+const MAX_ROUNDS: u64 = 2_000_000;
+const MAX_STEPS: u64 = 40_000_000;
+
+fn jsonl(events: &[dpq_sim::TraceEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_jsonl(events, &mut buf).expect("write to Vec cannot fail");
+    buf
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (2usize..10, 1usize..5, 0u64..1 << 20)
+        .prop_map(|(n, ops, seed)| WorkloadSpec::balanced(n, ops, N_PRIOS as u64, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Same seeds, same bytes — synchronous scheduler.
+    #[test]
+    fn sync_event_streams_replay_byte_identical(spec in arb_spec()) {
+        let a = cluster::trace_sync(&spec, N_PRIOS, MAX_ROUNDS);
+        let b = cluster::trace_sync(&spec, N_PRIOS, MAX_ROUNDS);
+        prop_assert!(!a.is_empty(), "a completed run must emit events");
+        prop_assert_eq!(jsonl(&a), jsonl(&b));
+    }
+
+    /// Same seeds, same bytes — asynchronous adversary.
+    #[test]
+    fn async_event_streams_replay_byte_identical(
+        spec in arb_spec(),
+        sched_seed in 0u64..1 << 20,
+    ) {
+        let (ha, ta) = cluster::run_async_traced(
+            &spec, N_PRIOS, sched_seed, MAX_STEPS, dpq_sim::VecTracer::new());
+        let (hb, tb) = cluster::run_async_traced(
+            &spec, N_PRIOS, sched_seed, MAX_STEPS, dpq_sim::VecTracer::new());
+        prop_assert!(ha.is_some() && hb.is_some(), "async runs must drain");
+        prop_assert_eq!(jsonl(&ta.into_events()), jsonl(&tb.into_events()));
+    }
+
+    /// The no-op tracer is compile-away-equivalent to a real sink: metrics,
+    /// rounds, and the merged history all match a traced run of the same
+    /// workload.
+    #[test]
+    fn null_tracer_leaves_metrics_unchanged(spec in arb_spec()) {
+        let untraced = cluster::run_sync(&spec, N_PRIOS, MAX_ROUNDS);
+        let (traced, tracer) = cluster::run_sync_traced(
+            &spec, N_PRIOS, MAX_ROUNDS, dpq_sim::VecTracer::new());
+        prop_assert!(untraced.completed && traced.completed);
+        prop_assert_eq!(untraced.metrics, traced.metrics);
+        prop_assert_eq!(untraced.rounds, traced.rounds);
+        prop_assert_eq!(untraced.latencies, traced.latencies);
+        prop_assert_eq!(
+            format!("{:?}", untraced.history.nodes),
+            format!("{:?}", traced.history.nodes)
+        );
+        prop_assert!(!tracer.events.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! The trace event model.
+
+use dpq_core::{MsgKind, NodeId, OpId};
+
+/// One observable moment in a simulated run.
+///
+/// `round` is the scheduler's logical clock: the round counter under the
+/// synchronous scheduler, the step counter under the asynchronous one. All
+/// events carry it so a stream can be merged, windowed, or exported on a
+/// shared time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node placed a message in its outbox.
+    Send {
+        /// Logical time of the send.
+        round: u64,
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Message family, for per-kind attribution.
+        kind: MsgKind,
+        /// Encoded size of the message in bits.
+        bits: u64,
+    },
+    /// The scheduler handed a message to its destination.
+    Deliver {
+        /// Logical time of the delivery.
+        round: u64,
+        /// Original sender.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Message family, for per-kind attribution.
+        kind: MsgKind,
+        /// Encoded size of the message in bits.
+        bits: u64,
+    },
+    /// A node took its activation turn.
+    Activate {
+        /// Logical time of the activation.
+        round: u64,
+        /// The activated node.
+        node: NodeId,
+    },
+    /// A synchronous round (or async sweep) closed.
+    RoundEnd {
+        /// The round that just ended.
+        round: u64,
+        /// Messages delivered during it.
+        messages: u64,
+        /// Bits delivered during it.
+        bits: u64,
+        /// Maximum messages any single node received during it.
+        congestion: u64,
+    },
+    /// A protocol announced a named phase boundary (Skeap batch cycle,
+    /// Seap phase, KSelect Phase 1/2/3 transition).
+    PhaseMark {
+        /// Logical time of the mark.
+        round: u64,
+        /// Node that emitted the mark (usually the anchor).
+        node: NodeId,
+        /// Phase label, e.g. `"skeap.batch"` or `"kselect.phase2"`.
+        label: &'static str,
+        /// Phase-specific payload (cycle number, phase number, iteration).
+        value: u64,
+    },
+    /// A queue operation entered the system.
+    OpInjected {
+        /// Logical time of injection.
+        round: u64,
+        /// Node that issued the operation.
+        node: NodeId,
+        /// The operation's identity.
+        op: OpId,
+    },
+    /// A queue operation produced its return value.
+    OpCompleted {
+        /// Logical time of completion.
+        round: u64,
+        /// Node whose operation completed.
+        node: NodeId,
+        /// The operation's identity.
+        op: OpId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's logical time.
+    pub fn round(&self) -> u64 {
+        match *self {
+            TraceEvent::Send { round, .. }
+            | TraceEvent::Deliver { round, .. }
+            | TraceEvent::Activate { round, .. }
+            | TraceEvent::RoundEnd { round, .. }
+            | TraceEvent::PhaseMark { round, .. }
+            | TraceEvent::OpInjected { round, .. }
+            | TraceEvent::OpCompleted { round, .. } => round,
+        }
+    }
+
+    /// The mask bit selecting this event's category.
+    pub fn mask_bit(&self) -> EventMask {
+        match self {
+            TraceEvent::Send { .. } => EventMask::SEND,
+            TraceEvent::Deliver { .. } => EventMask::DELIVER,
+            TraceEvent::Activate { .. } => EventMask::ACTIVATE,
+            TraceEvent::RoundEnd { .. } => EventMask::ROUND_END,
+            TraceEvent::PhaseMark { .. } => EventMask::PHASE_MARK,
+            TraceEvent::OpInjected { .. } => EventMask::OP_INJECTED,
+            TraceEvent::OpCompleted { .. } => EventMask::OP_COMPLETED,
+        }
+    }
+}
+
+/// A set of event categories, used to filter what a sink keeps.
+///
+/// Per-message categories (`SEND`, `DELIVER`, `ACTIVATE`) dominate stream
+/// volume; the control-plane categories are a few events per round. Sinks
+/// for long runs typically keep [`EventMask::CONTROL`] only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(u16);
+
+impl EventMask {
+    /// Send events.
+    pub const SEND: EventMask = EventMask(1 << 0);
+    /// Deliver events.
+    pub const DELIVER: EventMask = EventMask(1 << 1);
+    /// Activation events.
+    pub const ACTIVATE: EventMask = EventMask(1 << 2);
+    /// Round-boundary summaries.
+    pub const ROUND_END: EventMask = EventMask(1 << 3);
+    /// Protocol phase marks.
+    pub const PHASE_MARK: EventMask = EventMask(1 << 4);
+    /// Operation injections.
+    pub const OP_INJECTED: EventMask = EventMask(1 << 5);
+    /// Operation completions.
+    pub const OP_COMPLETED: EventMask = EventMask(1 << 6);
+
+    /// No categories.
+    pub const NONE: EventMask = EventMask(0);
+    /// Every category.
+    pub const ALL: EventMask = EventMask(0x7f);
+    /// The control plane only: round ends, phase marks, op inject/complete.
+    pub const CONTROL: EventMask = EventMask(
+        Self::ROUND_END.0 | Self::PHASE_MARK.0 | Self::OP_INJECTED.0 | Self::OP_COMPLETED.0,
+    );
+
+    /// Does this mask include every category `other` does?
+    pub fn contains(&self, other: EventMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The union of two masks.
+    pub fn union(&self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_partition_categories() {
+        assert!(EventMask::ALL.contains(EventMask::CONTROL));
+        assert!(EventMask::CONTROL.contains(EventMask::ROUND_END));
+        assert!(!EventMask::CONTROL.contains(EventMask::SEND));
+        assert!(EventMask::SEND
+            .union(EventMask::DELIVER)
+            .contains(EventMask::SEND));
+        assert!(!EventMask::NONE.contains(EventMask::SEND));
+    }
+
+    #[test]
+    fn every_event_maps_to_its_bit() {
+        let node = NodeId(3);
+        let op = OpId { node, seq: 1 };
+        let kind = MsgKind("test");
+        let evs = [
+            TraceEvent::Send {
+                round: 1,
+                src: node,
+                dst: node,
+                kind,
+                bits: 8,
+            },
+            TraceEvent::Deliver {
+                round: 2,
+                src: node,
+                dst: node,
+                kind,
+                bits: 8,
+            },
+            TraceEvent::Activate { round: 3, node },
+            TraceEvent::RoundEnd {
+                round: 4,
+                messages: 1,
+                bits: 8,
+                congestion: 1,
+            },
+            TraceEvent::PhaseMark {
+                round: 5,
+                node,
+                label: "p",
+                value: 0,
+            },
+            TraceEvent::OpInjected { round: 6, node, op },
+            TraceEvent::OpCompleted { round: 7, node, op },
+        ];
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.round(), i as u64 + 1);
+            assert!(EventMask::ALL.contains(ev.mask_bit()));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate. Run before pushing; CI runs the same four steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace -q
