@@ -4,13 +4,16 @@
 //! cargo run -p dpq-bench --release --bin experiments            # everything
 //! cargo run -p dpq-bench --release --bin experiments -- e2 e5   # a subset
 //! cargo run -p dpq-bench --release --bin experiments -- e2 --trace /tmp/e2.json
+//! cargo run -p dpq-bench --release --bin experiments -- e16 --faults scripts/faults-smoke.toml
 //! ```
 //!
 //! Tables are printed and written as CSV under `results/`. With `--trace`,
 //! the tracing-capable experiments (E2, E5, E10) also write a Chrome
 //! trace-event file — open it in Perfetto (<https://ui.perfetto.dev>) or
 //! `chrome://tracing`; each run appears as its own process with per-round
-//! counters and phase-mark instants.
+//! counters and phase-mark instants. With `--faults`, E16 replaces its
+//! standard 16-cell matrix with the fault plan parsed from the given TOML
+//! file (see [`dpq_sim::FaultPlan::from_toml`] for the dialect).
 
 use dpq_bench::ExpOpts;
 use std::path::PathBuf;
@@ -26,6 +29,25 @@ fn main() {
                 Some(p) => opts.trace = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--faults" {
+            let Some(p) = args.next() else {
+                eprintln!("--faults requires a path to a plan TOML");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(&p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("--faults: cannot read {p}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match dpq_sim::FaultPlan::from_toml(&text) {
+                Ok(plan) => opts.faults = Some(plan),
+                Err(e) => {
+                    eprintln!("--faults: {p}: {e}");
                     std::process::exit(2);
                 }
             }

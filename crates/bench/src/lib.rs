@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod exp_baselines;
+pub mod exp_faults;
 pub mod exp_kselect;
 pub mod exp_overlay;
 pub mod exp_seap;
@@ -26,6 +27,12 @@ pub struct ExpOpts {
     /// the experiment's runs to this path. Honoured by the tracing-capable
     /// experiments (E2, E5, E10); ignored by the rest.
     pub trace: Option<PathBuf>,
+    /// A custom fault plan (`--faults <plan.toml>`,
+    /// [`dpq_sim::FaultPlan::from_toml`]). Honoured by E16, which then runs
+    /// the custom plan instead of the standard 16-cell matrix; ignored by
+    /// the rest. Node references in the plan must stay below E16's cluster
+    /// size (n = 8).
+    pub faults: Option<dpq_sim::FaultPlan>,
 }
 
 /// A named experiment entry.
@@ -78,6 +85,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e13", exp_overlay::e13_routing),
         ("e14", exp_overlay::e14_join_leave),
         ("e15", exp_skeap::e15_discipline_ablation),
+        ("e16", exp_faults::e16_fault_recovery),
         ("f1", exp_skeap::f1_figure1),
         ("f2", exp_overlay::f2_figure2),
         ("b1", exp_baselines::b1_central_congestion),

@@ -4,7 +4,10 @@ use crate::ctl::{KSelectConfig, KStats};
 use crate::node::KSelectNode;
 use dpq_core::{DetRng, ElemId, Key, NodeId, Priority};
 use dpq_overlay::{tree, NodeView, Topology};
-use dpq_sim::{AsyncScheduler, MetricsSnapshot, NullTracer, SyncScheduler, Tracer};
+use dpq_sim::{
+    AsyncScheduler, FaultPlan, FaultStats, MetricsSnapshot, NullTracer, Reliable, SyncScheduler,
+    Tracer,
+};
 
 /// Generate `m` candidate keys with priorities drawn uniformly from
 /// `0..prio_space` and spread them uniformly at random over `n` nodes — the
@@ -157,4 +160,58 @@ pub fn run_async(
         ns.iter().all(|n: &KSelectNode| n.result.is_some())
     });
     ok.then(|| summarize(sched.nodes(), sched.steps(), sched.metrics.snapshot()))
+}
+
+/// Outcome of one KSelect run over a faulty network.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultySelect {
+    /// The full run outcome (result, rounds, metrics, controller stats).
+    pub run: KSelectRun,
+    /// What the fault layer did to the run.
+    pub faults: FaultStats,
+    /// Retransmissions the transport performed to beat the drops.
+    pub retransmits: u64,
+    /// Duplicate deliveries the transport suppressed.
+    pub dup_suppressed: u64,
+}
+
+/// Run a selection synchronously over a faulty network: every node is
+/// wrapped in a [`Reliable`] transport with retransmission `timeout` (in
+/// rounds) and the scheduler injects faults per `plan`. Returns `None` if
+/// the run stalled within `max_rounds`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync_faulty(
+    n: usize,
+    per_node: Vec<Vec<Key>>,
+    k: u64,
+    cfg: KSelectConfig,
+    seed: u64,
+    max_rounds: u64,
+    plan: FaultPlan,
+    timeout: u64,
+) -> Option<FaultySelect> {
+    let nodes = Reliable::wrap_all(build(n, per_node, k, cfg, seed), timeout);
+    let mut sched = SyncScheduler::with_faults(nodes, plan);
+    let out = sched.run_until_pred(max_rounds, |ns| {
+        ns.iter().all(|n| n.inner().result.is_some())
+    });
+    if !out.is_quiescent() {
+        return None;
+    }
+    let (retransmits, dup_suppressed) = sched.nodes().iter().fold((0, 0), |(r, d), n| {
+        (r + n.stats.retransmits, d + n.stats.dup_suppressed)
+    });
+    let faults = sched.faults().stats;
+    let metrics = sched.metrics.snapshot();
+    let inner: Vec<KSelectNode> = sched
+        .into_nodes()
+        .into_iter()
+        .map(Reliable::into_inner)
+        .collect();
+    Some(FaultySelect {
+        run: summarize(&inner, out.rounds(), metrics),
+        faults,
+        retransmits,
+        dup_suppressed,
+    })
 }

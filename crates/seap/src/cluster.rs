@@ -2,10 +2,11 @@
 
 use crate::node::{SeapConfig, SeapNode};
 use dpq_core::workload::WorkloadSpec;
-use dpq_core::{History, OpId, OpKind};
+use dpq_core::{Element, History, OpId, OpKind};
 use dpq_overlay::{NodeView, Topology};
 use dpq_sim::{
-    AsyncScheduler, LatencySummary, MetricsSnapshot, NullTracer, SyncScheduler, TraceEvent, Tracer,
+    AsyncScheduler, FaultPlan, FaultStats, LatencySummary, MetricsSnapshot, NullTracer, Reliable,
+    SyncScheduler, TraceEvent, Tracer,
 };
 
 /// Build the `n` protocol nodes of a Seap instance.
@@ -113,4 +114,131 @@ pub fn trace_sync(spec: &WorkloadSpec, max_rounds: u64) -> Vec<TraceEvent> {
     run_sync_traced(spec, max_rounds, dpq_sim::VecTracer::new())
         .1
         .into_events()
+}
+
+/// Outcome of a workload run over a faulty network — the mirror image of
+/// Skeap's `cluster::FaultyRun`: the protocol speaks through [`Reliable`]
+/// retransmission links while the scheduler's fault layer drops,
+/// duplicates, delays, partitions and crash-pauses beneath it.
+#[derive(Debug, Clone)]
+pub struct FaultyRun {
+    /// Merged per-node histories (what the protocol believes happened).
+    pub history: History,
+    /// Run metrics; only delivered traffic is counted.
+    pub metrics: MetricsSnapshot,
+    /// Rounds (sync) or steps (async) consumed.
+    pub time: u64,
+    /// Did every request complete within the budget?
+    pub completed: bool,
+    /// Raw per-op latency samples, completion order.
+    pub latencies: Vec<u64>,
+    /// What the fault layer did to the run.
+    pub faults: FaultStats,
+    /// Retransmissions the transport performed.
+    pub retransmits: u64,
+    /// Duplicate deliveries the transport suppressed.
+    pub dup_suppressed: u64,
+    /// Elements still stored in shards at the end, `(prio, id)` order.
+    pub residual: Vec<Element>,
+}
+
+fn residual_of(nodes: &[Reliable<SeapNode>]) -> Vec<Element> {
+    let mut v: Vec<Element> = nodes
+        .iter()
+        .flat_map(|n| n.inner().shard.elements().map(|(_, e)| *e))
+        .collect();
+    v.sort_unstable_by_key(|e| (e.prio, e.id));
+    v
+}
+
+fn transport_totals(nodes: &[Reliable<SeapNode>]) -> (u64, u64) {
+    nodes.iter().fold((0, 0), |(r, d), n| {
+        (r + n.stats.retransmits, d + n.stats.dup_suppressed)
+    })
+}
+
+fn inject_wrapped(sched_nodes: &mut [Reliable<SeapNode>], scripts: &[Vec<OpKind>]) -> Vec<OpId> {
+    let mut ids = Vec::new();
+    for (node, script) in sched_nodes.iter_mut().zip(scripts) {
+        for op in script {
+            ids.push(match op {
+                OpKind::Insert(e) => node.inner_mut().issue_insert(e.prio.0, e.payload),
+                OpKind::DeleteMin => node.inner_mut().issue_delete(),
+            });
+        }
+    }
+    ids
+}
+
+/// Run a full workload synchronously over a faulty network: every node is
+/// wrapped in a [`Reliable`] transport with retransmission `timeout` (in
+/// rounds) and the scheduler injects faults per `plan`.
+pub fn run_sync_faulty(
+    spec: &WorkloadSpec,
+    max_rounds: u64,
+    plan: FaultPlan,
+    timeout: u64,
+) -> FaultyRun {
+    let nodes = Reliable::wrap_all(build(spec.n, spec.seed), timeout);
+    let scripts = dpq_core::workload::generate(spec);
+    let mut sched = SyncScheduler::with_faults(nodes, plan);
+    for id in inject_wrapped(sched.nodes_mut(), &scripts) {
+        sched.note_injected(id);
+    }
+    let out = sched.run_until_pred(max_rounds, |ns| ns.iter().all(|n| n.inner().all_complete()));
+    let (retransmits, dup_suppressed) = transport_totals(sched.nodes());
+    FaultyRun {
+        history: History::merge(
+            sched
+                .nodes()
+                .iter()
+                .map(|n| n.inner().history.clone())
+                .collect(),
+        ),
+        metrics: sched.metrics.snapshot(),
+        time: out.rounds(),
+        completed: out.is_quiescent(),
+        latencies: sched.metrics.latencies().to_vec(),
+        faults: sched.faults().stats,
+        retransmits,
+        dup_suppressed,
+        residual: residual_of(sched.nodes()),
+    }
+}
+
+/// Run a full workload under the asynchronous adversary over a faulty
+/// network (`timeout` is in adversary steps).
+pub fn run_async_faulty(
+    spec: &WorkloadSpec,
+    sched_seed: u64,
+    max_steps: u64,
+    plan: FaultPlan,
+    timeout: u64,
+) -> FaultyRun {
+    let nodes = Reliable::wrap_all(build(spec.n, spec.seed), timeout);
+    let scripts = dpq_core::workload::generate(spec);
+    let mut sched =
+        AsyncScheduler::with_faults(nodes, sched_seed, dpq_sim::AsyncConfig::default(), plan);
+    for id in inject_wrapped(sched.nodes_mut(), &scripts) {
+        sched.note_injected(id);
+    }
+    let ok = sched.run_until_pred(max_steps, |ns| ns.iter().all(|n| n.inner().all_complete()));
+    let (retransmits, dup_suppressed) = transport_totals(sched.nodes());
+    FaultyRun {
+        history: History::merge(
+            sched
+                .nodes()
+                .iter()
+                .map(|n| n.inner().history.clone())
+                .collect(),
+        ),
+        metrics: sched.metrics.snapshot(),
+        time: sched.steps(),
+        completed: ok,
+        latencies: sched.metrics.latencies().to_vec(),
+        faults: sched.faults().stats,
+        retransmits,
+        dup_suppressed,
+        residual: residual_of(sched.nodes()),
+    }
 }

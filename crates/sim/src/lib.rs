@@ -20,16 +20,23 @@
 #![warn(missing_docs)]
 
 pub mod envelope;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
+pub mod reliable;
 pub mod sched_async;
 pub mod sched_sync;
 
 pub use envelope::Envelope;
+pub use faults::{
+    fault_matrix, CrashEvent, DelayInflation, FaultCell, FaultPlan, FaultState, FaultStats,
+    FaultTransition, LinkFault, Partition, SendVerdict,
+};
 pub use metrics::{
     KindStat, LatencySummary, Metrics, MetricsDelta, MetricsSnapshot, RoundSample, RoundWindow,
 };
 pub use protocol::{Ctx, Protocol};
+pub use reliable::{Reliable, ReliableMsg, ReliableStats};
 pub use sched_async::{AsyncConfig, AsyncScheduler};
 pub use sched_sync::{RunOutcome, SyncScheduler};
 

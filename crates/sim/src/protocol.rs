@@ -100,6 +100,14 @@ impl<M: BitSize> Ctx<M> {
     pub(crate) fn take_events(&mut self) -> Vec<CtxEvent> {
         std::mem::take(&mut self.events)
     }
+
+    /// Move another context's telemetry notes into this one — used by
+    /// wrapper protocols (e.g. the reliable transport) that run their inner
+    /// protocol under a private context but must not swallow its phase marks
+    /// or operation completions.
+    pub(crate) fn forward_events<N>(&mut self, other: &mut Ctx<N>) {
+        self.events.append(&mut other.events);
+    }
 }
 
 /// A distributed protocol, instantiated once per node.

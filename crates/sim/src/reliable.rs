@@ -1,0 +1,394 @@
+//! Reliable transport: ack + timeout retransmission + duplicate suppression.
+//!
+//! The paper's asynchronous model (§1.1) delays and reorders messages but
+//! never loses or duplicates them, and Skeap/Seap lean on that: collectors
+//! reject double contributions, the DHT client rejects unknown acks, phase
+//! machines assert cycle agreement. Rather than weakening those assertions —
+//! they are exactly what makes the protocols auditable — [`Reliable`]
+//! restores the paper's channel semantics *on top of* a faulty network, the
+//! classic transport argument (and the recovery shape the same authors'
+//! Skueue paper motivates): the inner protocol runs unmodified over
+//! exactly-once, arbitrary-finite-delay, non-FIFO channels, while the
+//! wrapper absorbs drops, duplicates, partitions, and crash-recover gaps.
+//!
+//! Mechanism, per ordered link (src, dst):
+//!
+//! * every payload is wrapped in [`ReliableMsg::Data`] with a link-local
+//!   sequence number — `(src, dst, seq)` is the message id;
+//! * the receiver always acks, *then* deduplicates: ids at or above a
+//!   contiguous-delivery watermark are tracked in a set, ids below it (or in
+//!   the set) are suppressed, so the inner protocol sees each id exactly
+//!   once no matter how often the network replays it;
+//! * the sender buffers unacked payloads and retransmits on activation once
+//!   `timeout` logical time units have passed since the last send — under
+//!   fair activation every surviving link eventually delivers, so a plan
+//!   whose faults all heal cannot stall a run;
+//! * [`Reliable::done`] holds only when the inner protocol is done *and*
+//!   every send has been acked, which keeps the schedulers' quiescence
+//!   detection honest under in-flight loss.
+//!
+//! All per-peer state lives in `BTreeMap`s so iteration order — and thus
+//! retransmission order, traces, and metrics — is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::protocol::{Ctx, Protocol};
+use dpq_core::{vlq_bits, BitSize, MsgKind, NodeId};
+
+/// Transport envelope of [`Reliable`]: a payload with a link-local sequence
+/// number, or an ack for one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReliableMsg<M> {
+    /// A payload copy. `(sender, receiver, seq)` identifies the message.
+    Data {
+        /// Link-local sequence number.
+        seq: u64,
+        /// The inner protocol's message.
+        msg: M,
+    },
+    /// Acknowledges receipt (not necessarily first receipt) of `seq`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+impl<M: BitSize> BitSize for ReliableMsg<M> {
+    fn bits(&self) -> u64 {
+        // 1 tag bit + VLQ sequence header (+ payload for data frames).
+        match self {
+            ReliableMsg::Data { seq, msg } => 1 + vlq_bits(*seq) + msg.bits(),
+            ReliableMsg::Ack { seq } => 1 + vlq_bits(*seq),
+        }
+    }
+
+    fn kind(&self) -> MsgKind {
+        // Data frames keep the payload's kind so per-kind attribution in the
+        // metrics and experiments still describes the protocol, not the
+        // transport; only acks show up as transport traffic.
+        match self {
+            ReliableMsg::Data { msg, .. } => msg.kind(),
+            ReliableMsg::Ack { .. } => MsgKind("rel.ack"),
+        }
+    }
+}
+
+/// Sender-side state of one ordered link.
+#[derive(Debug, Clone)]
+struct TxLink<M> {
+    /// Sequence number the next fresh payload will take.
+    next_seq: u64,
+    /// Unacked payloads: seq → (payload, logical time of last transmission).
+    unacked: BTreeMap<u64, (M, u64)>,
+}
+
+impl<M> Default for TxLink<M> {
+    fn default() -> Self {
+        TxLink {
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+        }
+    }
+}
+
+/// Receiver-side state of one ordered link.
+#[derive(Debug, Clone, Default)]
+struct RxLink {
+    /// Every seq `< watermark` has been delivered to the inner protocol.
+    watermark: u64,
+    /// Delivered seqs `>= watermark` (out-of-order arrivals).
+    seen: BTreeSet<u64>,
+}
+
+impl RxLink {
+    /// Record first delivery of `seq`; `false` if it is a duplicate.
+    fn accept(&mut self, seq: u64) -> bool {
+        if seq < self.watermark || !self.seen.insert(seq) {
+            return false;
+        }
+        // Compact: slide the watermark over any now-contiguous prefix so the
+        // set stays small on mostly-ordered links.
+        while self.seen.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+        true
+    }
+}
+
+/// Counters over one node's transport activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Fresh payloads sent (first transmissions).
+    pub sent: u64,
+    /// Payload retransmissions triggered by the timeout.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed before the inner protocol saw them.
+    pub dup_suppressed: u64,
+    /// Acks emitted (every data frame received triggers one).
+    pub acks_sent: u64,
+}
+
+/// Wraps a [`Protocol`] with ack/retransmit/dedup transport so it survives a
+/// faulty network unchanged. See the module docs for the mechanism.
+#[derive(Debug, Clone)]
+pub struct Reliable<P: Protocol>
+where
+    P::Msg: Clone,
+{
+    inner: P,
+    timeout: u64,
+    tx: BTreeMap<NodeId, TxLink<P::Msg>>,
+    rx: BTreeMap<NodeId, RxLink>,
+    /// Transport counters.
+    pub stats: ReliableStats,
+}
+
+impl<P: Protocol> Reliable<P>
+where
+    P::Msg: Clone,
+{
+    /// Wrap `inner`, retransmitting unacked payloads every `timeout` logical
+    /// time units. The timeout must exceed one network round trip (≥ 3 under
+    /// the synchronous scheduler, comfortably more under an asynchronous
+    /// adversary — a too-small value only costs duplicate traffic, never
+    /// correctness, since the receiver deduplicates).
+    pub fn new(inner: P, timeout: u64) -> Self {
+        assert!(timeout > 0, "retransmission timeout must be positive");
+        Reliable {
+            inner,
+            timeout,
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// Wrap every node of a cluster with the same timeout.
+    pub fn wrap_all(nodes: impl IntoIterator<Item = P>, timeout: u64) -> Vec<Self> {
+        nodes
+            .into_iter()
+            .map(|p| Reliable::new(p, timeout))
+            .collect()
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The wrapped protocol, mutably (drivers inject operations through
+    /// this).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Unwrap, discarding transport state.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Total payloads currently awaiting an ack, over all links.
+    pub fn unacked(&self) -> usize {
+        self.tx.values().map(|l| l.unacked.len()).sum()
+    }
+
+    /// Run `f` against the inner protocol under an inner context, then wrap
+    /// and buffer whatever it sent and forward its telemetry.
+    fn run_inner(
+        &mut self,
+        ctx: &mut Ctx<ReliableMsg<P::Msg>>,
+        f: impl FnOnce(&mut P, &mut Ctx<P::Msg>),
+    ) {
+        let mut inner_ctx = Ctx::new(ctx.me(), ctx.now());
+        f(&mut self.inner, &mut inner_ctx);
+        let now = ctx.now();
+        for env in inner_ctx.take_outbox() {
+            let link = self.tx.entry(env.dst).or_default();
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            link.unacked.insert(seq, (env.msg.clone(), now));
+            self.stats.sent += 1;
+            ctx.send(env.dst, ReliableMsg::Data { seq, msg: env.msg });
+        }
+        ctx.forward_events(&mut inner_ctx);
+    }
+}
+
+impl<P: Protocol> Protocol for Reliable<P>
+where
+    P::Msg: Clone,
+{
+    type Msg = ReliableMsg<P::Msg>;
+
+    fn on_activate(&mut self, ctx: &mut Ctx<Self::Msg>) {
+        self.run_inner(ctx, |p, c| p.on_activate(c));
+        // Retransmit overdue payloads. BTreeMap order keeps this (and hence
+        // every downstream trace) deterministic.
+        let now = ctx.now();
+        let timeout = self.timeout;
+        let mut resend = Vec::new();
+        for (&dst, link) in &mut self.tx {
+            for (&seq, (msg, last_sent)) in &mut link.unacked {
+                if now.saturating_sub(*last_sent) >= timeout {
+                    *last_sent = now;
+                    resend.push((dst, seq, msg.clone()));
+                }
+            }
+        }
+        self.stats.retransmits += resend.len() as u64;
+        for (dst, seq, msg) in resend {
+            ctx.send(dst, ReliableMsg::Data { seq, msg });
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<Self::Msg>) {
+        match msg {
+            ReliableMsg::Ack { seq } => {
+                if let Some(link) = self.tx.get_mut(&from) {
+                    link.unacked.remove(&seq);
+                }
+            }
+            ReliableMsg::Data { seq, msg } => {
+                // Always ack — the previous ack may itself have been lost.
+                ctx.send(from, ReliableMsg::Ack { seq });
+                self.stats.acks_sent += 1;
+                if self.rx.entry(from).or_default().accept(seq) {
+                    self.run_inner(ctx, |p, c| p.on_message(from, msg, c));
+                } else {
+                    self.stats.dup_suppressed += 1;
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.inner.done() && self.tx.values().all(|l| l.unacked.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy inner protocol: records every delivery, replies `x + 1` to even
+    /// payloads, never initiates.
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(NodeId, u64)>,
+    }
+
+    impl Protocol for Recorder {
+        type Msg = u64;
+        fn on_activate(&mut self, _ctx: &mut Ctx<u64>) {}
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
+            self.seen.push((from, msg));
+            if msg.is_multiple_of(2) {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    fn data(seq: u64, msg: u64) -> ReliableMsg<u64> {
+        ReliableMsg::Data { seq, msg }
+    }
+
+    #[test]
+    fn duplicate_delivery_is_suppressed_but_still_acked() {
+        let mut node = Reliable::new(Recorder::default(), 8);
+        let peer = NodeId(1);
+        for _ in 0..3 {
+            let mut ctx = Ctx::new(NodeId(0), 1);
+            node.on_message(peer, data(0, 42), &mut ctx);
+            let out = ctx.take_outbox();
+            // Every copy is acked, even suppressed ones.
+            assert!(out
+                .iter()
+                .any(|e| e.dst == peer && e.msg == ReliableMsg::Ack { seq: 0 }));
+        }
+        assert_eq!(node.inner().seen, vec![(peer, 42)], "inner saw it once");
+        assert_eq!(node.stats.dup_suppressed, 2);
+        assert_eq!(node.stats.acks_sent, 3);
+    }
+
+    #[test]
+    fn out_of_order_ids_dedup_and_compact() {
+        let mut rx = RxLink::default();
+        assert!(rx.accept(2));
+        assert!(rx.accept(0));
+        assert!(!rx.accept(0), "below-watermark replay");
+        assert!(rx.accept(1));
+        assert_eq!(rx.watermark, 3, "contiguous prefix compacted");
+        assert!(rx.seen.is_empty());
+        assert!(!rx.accept(2), "replay of a compacted id");
+    }
+
+    #[test]
+    fn retransmission_fires_after_timeout_until_acked() {
+        let mut node = Reliable::new(Recorder::default(), 4);
+        let peer = NodeId(1);
+        // Inner replies to an even payload → one unacked data frame at t=0.
+        let mut ctx = Ctx::new(NodeId(0), 0);
+        node.on_message(peer, data(0, 10), &mut ctx);
+        assert_eq!(node.unacked(), 1);
+        // Before the timeout: no retransmission.
+        let mut ctx = Ctx::new(NodeId(0), 3);
+        node.on_activate(&mut ctx);
+        assert!(ctx.take_outbox().is_empty());
+        // At the timeout: the frame goes out again, same id.
+        let mut ctx = Ctx::new(NodeId(0), 4);
+        node.on_activate(&mut ctx);
+        let out = ctx.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg, data(0, 11));
+        assert_eq!(node.stats.retransmits, 1);
+        // The clock restarts from the retransmission.
+        let mut ctx = Ctx::new(NodeId(0), 6);
+        node.on_activate(&mut ctx);
+        assert!(ctx.take_outbox().is_empty());
+        // Ack lands → done, and no further retransmissions ever.
+        assert!(!node.done());
+        let mut ctx = Ctx::new(NodeId(0), 7);
+        node.on_message(peer, ReliableMsg::Ack { seq: 0 }, &mut ctx);
+        assert!(node.done());
+        let mut ctx = Ctx::new(NodeId(0), 100);
+        node.on_activate(&mut ctx);
+        assert!(ctx.take_outbox().is_empty());
+    }
+
+    #[test]
+    fn stale_ack_is_harmless() {
+        let mut node = Reliable::new(Recorder::default(), 4);
+        let mut ctx = Ctx::new(NodeId(0), 0);
+        node.on_message(NodeId(2), ReliableMsg::Ack { seq: 99 }, &mut ctx);
+        assert!(node.done());
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_link() {
+        let mut node = Reliable::new(Recorder::default(), 8);
+        // Two even payloads from two peers → replies take seq 0 on each link.
+        let mut ctx = Ctx::new(NodeId(0), 0);
+        node.on_message(NodeId(1), data(0, 2), &mut ctx);
+        node.on_message(NodeId(2), data(0, 4), &mut ctx);
+        let frames: Vec<_> = ctx
+            .take_outbox()
+            .into_iter()
+            .filter(|e| matches!(e.msg, ReliableMsg::Data { .. }))
+            .collect();
+        assert_eq!(frames.len(), 2);
+        assert!(frames
+            .iter()
+            .all(|e| matches!(e.msg, ReliableMsg::Data { seq: 0, .. })));
+        assert_ne!(frames[0].dst, frames[1].dst);
+    }
+
+    #[test]
+    fn transport_framing_is_priced_and_attributed() {
+        let d = data(5, 300);
+        assert_eq!(d.bits(), 1 + vlq_bits(5) + 300u64.bits());
+        assert_eq!(d.kind(), 300u64.kind(), "data keeps the payload kind");
+        let a: ReliableMsg<u64> = ReliableMsg::Ack { seq: 5 };
+        assert_eq!(a.kind(), MsgKind("rel.ack"));
+        assert_eq!(a.bits(), 1 + vlq_bits(5));
+    }
+}

@@ -14,10 +14,11 @@
 //! the coin is unlucky.
 
 use crate::envelope::Envelope;
+use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::Metrics;
 use crate::protocol::{Ctx, CtxEvent, Protocol};
 use dpq_core::{DetRng, NodeId, OpId};
-use dpq_trace::{NullTracer, TraceEvent, Tracer};
+use dpq_trace::{DropReason, NullTracer, TraceEvent, Tracer};
 
 /// Tunables for the asynchronous adversary.
 #[derive(Debug, Clone, Copy)]
@@ -47,15 +48,30 @@ impl Default for AsyncConfig {
     }
 }
 
+/// One in-flight message: the step the fault layer allows it to be
+/// delivered from (its send step unless delay-inflated), and the payload.
+struct Flight<M> {
+    ready: u64,
+    env: Envelope<M>,
+}
+
 /// Randomized asynchronous scheduler.
 ///
 /// Generic over a [`Tracer`] sink like the synchronous scheduler; the time
 /// axis of its events is the adversary *step* counter (there are no rounds,
 /// so no `RoundEnd` events are emitted).
+///
+/// Optionally executes a [`FaultPlan`]. The plan draws from its own seeded
+/// stream, never from the adversary's, so a null plan leaves the adversary's
+/// choices — and therefore the whole run — bit-for-bit identical to a
+/// scheduler constructed without one. `P::Msg: Clone` because the fault
+/// layer may have to duplicate a message.
 pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     nodes: Vec<P>,
-    /// In-flight messages with the step they were sent at.
-    in_flight: Vec<(u64, Envelope<P::Msg>)>,
+    /// In-flight messages.
+    in_flight: Vec<Flight<P::Msg>>,
+    /// The fault plan being executed (the null plan by default).
+    faults: FaultState,
     /// Run metrics (steps, messages, bits, congestion).
     pub metrics: Metrics,
     /// The event sink.
@@ -65,7 +81,10 @@ pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     step: u64,
 }
 
-impl<P: Protocol> AsyncScheduler<P> {
+impl<P: Protocol> AsyncScheduler<P>
+where
+    P::Msg: Clone,
+{
     /// Default adversary configuration with the given schedule seed.
     pub fn new(nodes: Vec<P>, seed: u64) -> Self {
         Self::with_config(nodes, seed, AsyncConfig::default())
@@ -75,15 +94,35 @@ impl<P: Protocol> AsyncScheduler<P> {
     pub fn with_config(nodes: Vec<P>, seed: u64, cfg: AsyncConfig) -> Self {
         Self::with_tracer(nodes, seed, cfg, NullTracer)
     }
+
+    /// Untraced scheduler executing a fault plan.
+    pub fn with_faults(nodes: Vec<P>, seed: u64, cfg: AsyncConfig, plan: FaultPlan) -> Self {
+        Self::with_faults_tracer(nodes, seed, cfg, plan, NullTracer)
+    }
 }
 
-impl<P: Protocol, T: Tracer> AsyncScheduler<P, T> {
+impl<P: Protocol, T: Tracer> AsyncScheduler<P, T>
+where
+    P::Msg: Clone,
+{
     /// Custom adversary configuration with an event sink.
     pub fn with_tracer(nodes: Vec<P>, seed: u64, cfg: AsyncConfig, tracer: T) -> Self {
+        Self::with_faults_tracer(nodes, seed, cfg, FaultPlan::none(), tracer)
+    }
+
+    /// Scheduler with both a fault plan and an event sink.
+    pub fn with_faults_tracer(
+        nodes: Vec<P>,
+        seed: u64,
+        cfg: AsyncConfig,
+        plan: FaultPlan,
+        tracer: T,
+    ) -> Self {
         let n = nodes.len();
         AsyncScheduler {
             nodes,
             in_flight: Vec::new(),
+            faults: FaultState::new(plan, n),
             metrics: Metrics::new(n),
             tracer,
             rng: DetRng::new(seed),
@@ -92,9 +131,21 @@ impl<P: Protocol, T: Tracer> AsyncScheduler<P, T> {
         }
     }
 
+    /// The fault layer's state (plan, down map, injection counters).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
     /// Consume the scheduler, yielding its event sink.
     pub fn into_tracer(self) -> T {
         self.tracer
+    }
+
+    /// Consume the scheduler, yielding the protocol instances — used by
+    /// churn drivers that rebuild a scheduler over a changed membership.
+    /// Any in-flight messages are discarded; run to quiescence first.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
     }
 
     /// Register that the driver just injected `op` into its issuing node;
@@ -181,11 +232,64 @@ impl<P: Protocol, T: Tracer> AsyncScheduler<P, T> {
                 });
             }
         }
-        self.in_flight.extend(outbox.into_iter().map(|e| (step, e)));
+        if !self.faults.active() {
+            self.in_flight
+                .extend(outbox.into_iter().map(|env| Flight { ready: step, env }));
+            return;
+        }
+        for env in outbox {
+            let verdict = self.faults.on_send(env.src, env.dst);
+            if verdict.copies == 0 {
+                if T::ENABLED {
+                    self.tracer.record(TraceEvent::FaultDrop {
+                        round: step,
+                        src: env.src,
+                        dst: env.dst,
+                        kind: env.kind,
+                        bits: env.bits,
+                        reason: DropReason::Chance,
+                    });
+                }
+                continue;
+            }
+            let dup = (verdict.copies == 2).then(|| env.clone());
+            self.in_flight.push(Flight {
+                ready: step + verdict.extra[0],
+                env,
+            });
+            if let Some(copy) = dup {
+                if T::ENABLED {
+                    self.tracer.record(TraceEvent::FaultDuplicate {
+                        round: step,
+                        src: copy.src,
+                        dst: copy.dst,
+                        kind: copy.kind,
+                    });
+                }
+                self.in_flight.push(Flight {
+                    ready: step + verdict.extra[1],
+                    env: copy,
+                });
+            }
+        }
     }
 
     fn deliver_at(&mut self, idx: usize) {
-        let (_, env) = self.in_flight.swap_remove(idx);
+        let Flight { env, .. } = self.in_flight.swap_remove(idx);
+        if let Some(reason) = self.faults.delivery_fault(env.src, env.dst) {
+            self.faults.note_delivery_drop(reason);
+            if T::ENABLED {
+                self.tracer.record(TraceEvent::FaultDrop {
+                    round: self.step,
+                    src: env.src,
+                    dst: env.dst,
+                    kind: env.kind,
+                    bits: env.bits,
+                    reason,
+                });
+            }
+            return;
+        }
         let dst = env.dst.index();
         self.metrics.on_deliver(dst, env.bits, env.kind);
         if T::ENABLED {
@@ -211,35 +315,72 @@ impl<P: Protocol, T: Tracer> AsyncScheduler<P, T> {
     }
 
     /// One adversary step.
+    ///
+    /// With an active fault plan the step opens by firing scheduled
+    /// crash/recover/partition transitions; down nodes are skipped by sweeps
+    /// and uniform activation, delay-inflated messages only become eligible
+    /// once mature, and a delivery attempt across a live cut (or to a down
+    /// node) destroys the message.
     pub fn step_once(&mut self) {
         self.step += 1;
+        if self.faults.active() {
+            for tr in self.faults.advance_to(self.step) {
+                if T::ENABLED {
+                    self.tracer.record(tr.to_event(self.step));
+                }
+            }
+        }
         if self.cfg.sweep_every > 0 && self.step.is_multiple_of(self.cfg.sweep_every) {
             for i in 0..self.nodes.len() {
-                self.activate(i);
+                if !self.faults.is_down(NodeId(i as u64)) {
+                    self.activate(i);
+                }
             }
             return;
         }
         // Bounded-delay mode: overdue messages deliver before anything else.
+        // Fault-layer delay inflation extends the bound (`ready >= sent`).
         if let Some(bound) = self.cfg.max_delay {
             let step = self.step;
-            if let Some(idx) = self
-                .in_flight
-                .iter()
-                .position(|(sent, _)| sent + bound <= step)
-            {
+            if let Some(idx) = self.in_flight.iter().position(|f| f.ready + bound <= step) {
                 self.deliver_at(idx);
                 return;
             }
         }
-        let deliver = !self.in_flight.is_empty()
+        if !self.faults.active() {
+            let deliver = !self.in_flight.is_empty()
+                && (self.rng.chance(self.cfg.deliver_bias) || self.nodes.is_empty());
+            if deliver {
+                // swap_remove of a uniform index = non-FIFO fair delivery.
+                let idx = self.rng.below(self.in_flight.len() as u64) as usize;
+                self.deliver_at(idx);
+            } else {
+                let i = self.rng.below(self.nodes.len() as u64) as usize;
+                self.activate(i);
+            }
+            return;
+        }
+        // Fault-aware path: only mature messages are eligible for the
+        // uniform delivery pick, and a crashed node's activation turn is
+        // consumed doing nothing (fail-pause).
+        let step = self.step;
+        let eligible: Vec<usize> = self
+            .in_flight
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ready <= step)
+            .map(|(i, _)| i)
+            .collect();
+        let deliver = !eligible.is_empty()
             && (self.rng.chance(self.cfg.deliver_bias) || self.nodes.is_empty());
         if deliver {
-            // swap_remove of a uniform index = non-FIFO fair delivery.
-            let idx = self.rng.below(self.in_flight.len() as u64) as usize;
+            let idx = eligible[self.rng.below(eligible.len() as u64) as usize];
             self.deliver_at(idx);
         } else {
             let i = self.rng.below(self.nodes.len() as u64) as usize;
-            self.activate(i);
+            if !self.faults.is_down(NodeId(i as u64)) {
+                self.activate(i);
+            }
         }
     }
 
@@ -415,5 +556,61 @@ mod tests {
         s.step_once();
         assert!(s.run_until_quiescent(500_000));
         assert_eq!(s.metrics.messages, 2 * 3 * 3);
+    }
+
+    #[test]
+    fn null_fault_plan_is_bit_identical_to_no_plan() {
+        // Same seed, one scheduler with an explicit null plan: the adversary
+        // must make exactly the same choices.
+        let run = |null_plan: bool| {
+            let nodes: Vec<Echo> = (0..6)
+                .map(|me| Echo {
+                    me,
+                    n: 6,
+                    k: 3,
+                    sent: false,
+                    pongs: 0,
+                })
+                .collect();
+            let mut s = if null_plan {
+                AsyncScheduler::with_faults(
+                    nodes,
+                    42,
+                    AsyncConfig::default(),
+                    crate::faults::FaultPlan::none(),
+                )
+            } else {
+                AsyncScheduler::new(nodes, 42)
+            };
+            s.run_until_quiescent(1_000_000);
+            (s.steps(), s.metrics.snapshot())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn reliable_echo_survives_drops_dups_delay_and_crash() {
+        let nodes = crate::reliable::Reliable::wrap_all(
+            (0..4).map(|me| Echo {
+                me,
+                n: 4,
+                k: 3,
+                sent: false,
+                pongs: 0,
+            }),
+            256,
+        );
+        let plan = crate::faults::FaultPlan::uniform(3, 0.2, 0.2)
+            .with_delay(0.2, 32)
+            .with_crash(NodeId(2), 200, Some(1200));
+        let mut s = AsyncScheduler::with_faults(nodes, 7, AsyncConfig::default(), plan);
+        assert!(s.run_until_quiescent(4_000_000), "run stalled under faults");
+        assert_eq!(s.nodes()[0].inner().pongs, 3 * 3);
+        let stats = s.faults().stats;
+        assert!(stats.dropped() > 0);
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+        // The transport had to retransmit to heal the losses.
+        assert!(s.nodes().iter().any(|n| n.stats.retransmits > 0));
     }
 }

@@ -7,10 +7,11 @@
 //! (§1.1)
 
 use crate::envelope::Envelope;
+use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::Metrics;
 use crate::protocol::{Ctx, CtxEvent, Protocol};
 use dpq_core::{NodeId, OpId};
-use dpq_trace::{NullTracer, TraceEvent, Tracer};
+use dpq_trace::{DropReason, NullTracer, TraceEvent, Tracer};
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,13 @@ impl RunOutcome {
 /// Generic over a [`Tracer`] sink; the default [`NullTracer`] advertises
 /// `ENABLED = false`, so untraced schedulers compile to exactly the code
 /// they had before tracing existed.
+///
+/// Optionally executes a [`FaultPlan`] (drops, duplicates, partitions,
+/// crash-recover, delay inflation). The scheduler itself has no randomness,
+/// and the fault layer draws from the plan's own stream, so a null plan is
+/// observationally identical to no plan at all and any (plan, workload) pair
+/// replays bit-for-bit. `P::Msg: Clone` because the fault layer may have to
+/// duplicate a message.
 pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     nodes: Vec<P>,
     /// Messages sent in the previous round, grouped per destination,
@@ -53,6 +61,10 @@ pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     inboxes: Vec<Vec<Envelope<P::Msg>>>,
     /// Messages sent in the current round, deliverable next round.
     next: Vec<Envelope<P::Msg>>,
+    /// Messages the fault layer delayed: `(deliverable_round, envelope)`.
+    future: Vec<(u64, Envelope<P::Msg>)>,
+    /// The fault plan being executed (the null plan by default).
+    faults: FaultState,
     /// Run metrics (rounds, messages, bits, congestion).
     pub metrics: Metrics,
     /// The event sink.
@@ -60,30 +72,60 @@ pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     round: u64,
 }
 
-impl<P: Protocol> SyncScheduler<P> {
+impl<P: Protocol> SyncScheduler<P>
+where
+    P::Msg: Clone,
+{
     /// Wrap `n` protocol instances (index i = `NodeId(i)`), untraced.
     pub fn new(nodes: Vec<P>) -> Self {
         Self::with_tracer(nodes, NullTracer)
     }
+
+    /// Untraced scheduler executing a fault plan.
+    pub fn with_faults(nodes: Vec<P>, plan: FaultPlan) -> Self {
+        Self::with_faults_tracer(nodes, plan, NullTracer)
+    }
 }
 
-impl<P: Protocol, T: Tracer> SyncScheduler<P, T> {
+impl<P: Protocol, T: Tracer> SyncScheduler<P, T>
+where
+    P::Msg: Clone,
+{
     /// Wrap `n` protocol instances with an event sink.
     pub fn with_tracer(nodes: Vec<P>, tracer: T) -> Self {
+        Self::with_faults_tracer(nodes, FaultPlan::none(), tracer)
+    }
+
+    /// Scheduler with both a fault plan and an event sink.
+    pub fn with_faults_tracer(nodes: Vec<P>, plan: FaultPlan, tracer: T) -> Self {
         let n = nodes.len();
         SyncScheduler {
             nodes,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             next: Vec::new(),
+            future: Vec::new(),
+            faults: FaultState::new(plan, n),
             metrics: Metrics::new(n),
             tracer,
             round: 0,
         }
     }
 
+    /// The fault layer's state (plan, down map, injection counters).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
     /// Consume the scheduler, yielding its event sink.
     pub fn into_tracer(self) -> T {
         self.tracer
+    }
+
+    /// Consume the scheduler, yielding the protocol instances — used by
+    /// churn drivers that rebuild a scheduler over a changed membership.
+    /// Any in-flight messages are discarded; run to quiescence first.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
     }
 
     /// Register that the driver just injected `op` into its issuing node;
@@ -130,20 +172,78 @@ impl<P: Protocol, T: Tracer> SyncScheduler<P, T> {
     }
 
     /// Messages currently in flight (sent last round and not yet processed,
-    /// plus those sent this round).
+    /// those sent this round, and those the fault layer is delaying).
     pub fn in_flight(&self) -> usize {
-        self.inboxes.iter().map(Vec::len).sum::<usize>() + self.next.len()
+        self.inboxes.iter().map(Vec::len).sum::<usize>() + self.next.len() + self.future.len()
+    }
+
+    /// Record a message the fault layer destroyed at delivery time.
+    fn drop_delivery(&mut self, env: Envelope<P::Msg>, reason: DropReason) {
+        self.faults.note_delivery_drop(reason);
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::FaultDrop {
+                round: self.round,
+                src: env.src,
+                dst: env.dst,
+                kind: env.kind,
+                bits: env.bits,
+                reason,
+            });
+        }
+    }
+
+    /// Queue one outgoing copy, honouring any fault-layer extra delay.
+    fn queue_send(&mut self, env: Envelope<P::Msg>, extra: u64) {
+        if extra == 0 {
+            self.next.push(env);
+        } else {
+            self.future.push((self.round + 1 + extra, env));
+        }
     }
 
     /// Execute one full round: every node first processes all messages that
     /// arrived, then is activated once. Messages emitted during the round
     /// become deliverable in the next one.
+    ///
+    /// With an active fault plan, the round opens by firing scheduled
+    /// crash/recover/partition transitions and releasing delay-inflated
+    /// messages that have matured; down nodes neither receive nor run, and
+    /// deliveries crossing a live partition cut are destroyed.
     pub fn step_round(&mut self) {
+        if self.faults.active() {
+            for tr in self.faults.advance_to(self.round) {
+                if T::ENABLED {
+                    self.tracer.record(tr.to_event(self.round));
+                }
+            }
+            let round = self.round;
+            let mut i = 0;
+            while i < self.future.len() {
+                if self.future[i].0 <= round {
+                    let (_, env) = self.future.remove(i);
+                    self.inboxes[env.dst.index()].push(env);
+                } else {
+                    i += 1;
+                }
+            }
+        }
         for i in 0..self.nodes.len() {
             let me = NodeId(i as u64);
-            let mut ctx = Ctx::new(me, self.round);
             let inbox = std::mem::take(&mut self.inboxes[i]);
+            if self.faults.is_down(me) {
+                // Fail-pause: a down node loses its incoming traffic and is
+                // not activated; its protocol state is untouched.
+                for env in inbox {
+                    self.drop_delivery(env, DropReason::Crash);
+                }
+                continue;
+            }
+            let mut ctx = Ctx::new(me, self.round);
             for env in inbox {
+                if let Some(reason) = self.faults.delivery_fault(env.src, env.dst) {
+                    self.drop_delivery(env, reason);
+                    continue;
+                }
                 self.metrics.on_deliver(i, env.bits, env.kind);
                 if T::ENABLED {
                     self.tracer.record(TraceEvent::Deliver {
@@ -176,7 +276,39 @@ impl<P: Protocol, T: Tracer> SyncScheduler<P, T> {
                     });
                 }
             }
-            self.next.extend(outbox);
+            if !self.faults.active() {
+                self.next.extend(outbox);
+            } else {
+                for env in outbox {
+                    let verdict = self.faults.on_send(env.src, env.dst);
+                    if verdict.copies == 0 {
+                        if T::ENABLED {
+                            self.tracer.record(TraceEvent::FaultDrop {
+                                round: self.round,
+                                src: env.src,
+                                dst: env.dst,
+                                kind: env.kind,
+                                bits: env.bits,
+                                reason: DropReason::Chance,
+                            });
+                        }
+                        continue;
+                    }
+                    let dup = (verdict.copies == 2).then(|| env.clone());
+                    self.queue_send(env, verdict.extra[0]);
+                    if let Some(copy) = dup {
+                        if T::ENABLED {
+                            self.tracer.record(TraceEvent::FaultDuplicate {
+                                round: self.round,
+                                src: copy.src,
+                                dst: copy.dst,
+                                kind: copy.kind,
+                            });
+                        }
+                        self.queue_send(copy, verdict.extra[1]);
+                    }
+                }
+            }
         }
         for env in self.next.drain(..) {
             self.inboxes[env.dst.index()].push(env);
@@ -390,5 +522,92 @@ mod tests {
         let out = s.run_until(5, |_| false);
         assert_eq!(out.rounds(), 5);
         assert!(!out.is_quiescent());
+    }
+
+    #[test]
+    fn bare_ring_loses_its_token_under_drops() {
+        // Without a reliable transport, a 30% drop plan eventually eats the
+        // token and the walk stalls — motivating `Reliable`.
+        let nodes: Vec<Ring> = (0..8)
+            .map(|me| Ring {
+                me,
+                n: 8,
+                fired: false,
+                seen: false,
+            })
+            .collect();
+        let mut s =
+            SyncScheduler::with_faults(nodes, crate::faults::FaultPlan::uniform(5, 0.6, 0.0));
+        let out = s.run_until_quiescent(200);
+        // The walk stalls: unreached nodes never report done, and the token
+        // is gone, so the budget runs out.
+        assert!(!out.is_quiescent());
+        assert!(!s.nodes().iter().all(|n| n.seen));
+        assert!(s.faults().stats.dropped() > 0);
+    }
+
+    #[test]
+    fn reliable_ring_survives_heavy_drops_and_dups() {
+        let nodes: Vec<Ring> = (0..8)
+            .map(|me| Ring {
+                me,
+                n: 8,
+                fired: false,
+                seen: false,
+            })
+            .collect();
+        let wrapped = crate::reliable::Reliable::wrap_all(nodes, 4);
+        let mut s =
+            SyncScheduler::with_faults(wrapped, crate::faults::FaultPlan::uniform(5, 0.3, 0.15));
+        let out = s.run_until_quiescent(10_000);
+        assert!(out.is_quiescent(), "retransmission failed to heal the walk");
+        assert!(s.nodes().iter().all(|n| n.inner().seen));
+        let stats = s.faults().stats;
+        assert!(stats.dropped() > 0, "plan injected nothing");
+    }
+
+    #[test]
+    fn reliable_ring_survives_partition_and_crash_recover() {
+        let nodes: Vec<Ring> = (0..8)
+            .map(|me| Ring {
+                me,
+                n: 8,
+                fired: false,
+                seen: false,
+            })
+            .collect();
+        let wrapped = crate::reliable::Reliable::wrap_all(nodes, 4);
+        let plan = crate::faults::FaultPlan::none()
+            .with_partition(2, 30, vec![NodeId(3), NodeId(4)])
+            .with_crash(NodeId(6), 5, Some(40));
+        let mut s = SyncScheduler::with_faults(wrapped, plan);
+        let out = s.run_until_quiescent(10_000);
+        assert!(out.is_quiescent(), "walk never recovered");
+        assert!(s.nodes().iter().all(|n| n.inner().seen));
+        let stats = s.faults().stats;
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+    }
+
+    #[test]
+    fn delay_inflation_slows_but_does_not_lose() {
+        let nodes: Vec<Ring> = (0..8)
+            .map(|me| Ring {
+                me,
+                n: 8,
+                fired: false,
+                seen: false,
+            })
+            .collect();
+        let mut s = SyncScheduler::with_faults(
+            nodes,
+            crate::faults::FaultPlan::uniform(9, 0.0, 0.0).with_delay(1.0, 5),
+        );
+        let out = s.run_until_quiescent(200);
+        assert!(out.is_quiescent());
+        assert!(s.nodes().iter().all(|n| n.seen), "delayed ≠ lost");
+        // Every hop was delayed, so the walk takes strictly longer than the
+        // fault-free 8–9 rounds.
+        assert!(out.rounds() > 9, "rounds = {}", out.rounds());
     }
 }

@@ -2,6 +2,28 @@
 
 use dpq_core::{MsgKind, NodeId, OpId};
 
+/// Why the fault layer destroyed a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link's random drop coin fired at send time.
+    Chance,
+    /// The link crossed an active partition cut at delivery time.
+    Partition,
+    /// The destination node was crashed at delivery time.
+    Crash,
+}
+
+impl DropReason {
+    /// Stable lowercase label used by the exporters.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropReason::Chance => "chance",
+            DropReason::Partition => "partition",
+            DropReason::Crash => "crash",
+        }
+    }
+}
+
 /// One observable moment in a simulated run.
 ///
 /// `round` is the scheduler's logical clock: the round counter under the
@@ -84,6 +106,64 @@ pub enum TraceEvent {
         /// The operation's identity.
         op: OpId,
     },
+    /// The fault layer destroyed a message — the trace shows exactly which
+    /// message died, and why.
+    FaultDrop {
+        /// Logical time of the drop.
+        round: u64,
+        /// Original sender.
+        src: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+        /// Message family of the lost message.
+        kind: MsgKind,
+        /// Encoded size of the lost message in bits.
+        bits: u64,
+        /// Why the message died.
+        reason: DropReason,
+    },
+    /// The fault layer injected an extra copy of a message at send time.
+    FaultDuplicate {
+        /// Logical time of the duplication.
+        round: u64,
+        /// Original sender.
+        src: NodeId,
+        /// Destination (both copies share it).
+        dst: NodeId,
+        /// Message family of the duplicated message.
+        kind: MsgKind,
+    },
+    /// A node crash-stopped (fail-pause: state is retained, but the node
+    /// neither runs nor receives until a matching [`TraceEvent::NodeRecover`]).
+    NodeCrash {
+        /// Logical time of the crash.
+        round: u64,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node came back (with its pre-crash state).
+    NodeRecover {
+        /// Logical time of the recovery.
+        round: u64,
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// A scheduled partition cut went live.
+    PartitionStart {
+        /// Logical time the cut activates.
+        round: u64,
+        /// Index of the partition in the plan.
+        id: u64,
+        /// Number of nodes on the island side of the cut.
+        island: u64,
+    },
+    /// A scheduled partition healed.
+    PartitionHeal {
+        /// Logical time the cut heals.
+        round: u64,
+        /// Index of the partition in the plan.
+        id: u64,
+    },
 }
 
 impl TraceEvent {
@@ -96,7 +176,13 @@ impl TraceEvent {
             | TraceEvent::RoundEnd { round, .. }
             | TraceEvent::PhaseMark { round, .. }
             | TraceEvent::OpInjected { round, .. }
-            | TraceEvent::OpCompleted { round, .. } => round,
+            | TraceEvent::OpCompleted { round, .. }
+            | TraceEvent::FaultDrop { round, .. }
+            | TraceEvent::FaultDuplicate { round, .. }
+            | TraceEvent::NodeCrash { round, .. }
+            | TraceEvent::NodeRecover { round, .. }
+            | TraceEvent::PartitionStart { round, .. }
+            | TraceEvent::PartitionHeal { round, .. } => round,
         }
     }
 
@@ -110,6 +196,12 @@ impl TraceEvent {
             TraceEvent::PhaseMark { .. } => EventMask::PHASE_MARK,
             TraceEvent::OpInjected { .. } => EventMask::OP_INJECTED,
             TraceEvent::OpCompleted { .. } => EventMask::OP_COMPLETED,
+            TraceEvent::FaultDrop { .. }
+            | TraceEvent::FaultDuplicate { .. }
+            | TraceEvent::NodeCrash { .. }
+            | TraceEvent::NodeRecover { .. }
+            | TraceEvent::PartitionStart { .. }
+            | TraceEvent::PartitionHeal { .. } => EventMask::FAULT,
         }
     }
 }
@@ -137,14 +229,21 @@ impl EventMask {
     pub const OP_INJECTED: EventMask = EventMask(1 << 5);
     /// Operation completions.
     pub const OP_COMPLETED: EventMask = EventMask(1 << 6);
+    /// Fault-layer events: drops, duplicates, crashes, partitions.
+    pub const FAULT: EventMask = EventMask(1 << 7);
 
     /// No categories.
     pub const NONE: EventMask = EventMask(0);
     /// Every category.
-    pub const ALL: EventMask = EventMask(0x7f);
-    /// The control plane only: round ends, phase marks, op inject/complete.
+    pub const ALL: EventMask = EventMask(0xff);
+    /// The control plane only: round ends, phase marks, op inject/complete,
+    /// and the (rare, load-bearing) fault events.
     pub const CONTROL: EventMask = EventMask(
-        Self::ROUND_END.0 | Self::PHASE_MARK.0 | Self::OP_INJECTED.0 | Self::OP_COMPLETED.0,
+        Self::ROUND_END.0
+            | Self::PHASE_MARK.0
+            | Self::OP_INJECTED.0
+            | Self::OP_COMPLETED.0
+            | Self::FAULT.0,
     );
 
     /// Does this mask include every category `other` does?
@@ -208,10 +307,46 @@ mod tests {
             },
             TraceEvent::OpInjected { round: 6, node, op },
             TraceEvent::OpCompleted { round: 7, node, op },
+            TraceEvent::FaultDrop {
+                round: 8,
+                src: node,
+                dst: node,
+                kind,
+                bits: 8,
+                reason: DropReason::Chance,
+            },
+            TraceEvent::FaultDuplicate {
+                round: 9,
+                src: node,
+                dst: node,
+                kind,
+            },
+            TraceEvent::NodeCrash { round: 10, node },
+            TraceEvent::NodeRecover { round: 11, node },
+            TraceEvent::PartitionStart {
+                round: 12,
+                id: 0,
+                island: 2,
+            },
+            TraceEvent::PartitionHeal { round: 13, id: 0 },
         ];
         for (i, ev) in evs.iter().enumerate() {
             assert_eq!(ev.round(), i as u64 + 1);
             assert!(EventMask::ALL.contains(ev.mask_bit()));
         }
+    }
+
+    #[test]
+    fn fault_events_are_control_plane() {
+        // Fault events are rare and load-bearing: the CONTROL mask used by
+        // long-run experiment tracers must keep them.
+        assert!(EventMask::CONTROL.contains(EventMask::FAULT));
+        assert!(!EventMask::CONTROL.contains(EventMask::SEND));
+        let ev = TraceEvent::NodeCrash {
+            round: 1,
+            node: NodeId(0),
+        };
+        assert_eq!(ev.mask_bit(), EventMask::FAULT);
+        assert_eq!(DropReason::Partition.as_str(), "partition");
     }
 }

@@ -80,6 +80,47 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
             r#"{{"type":"op_completed","round":{round},"node":{},"op":"{op}"}}"#,
             node.0,
         ),
+        TraceEvent::FaultDrop {
+            round,
+            src,
+            dst,
+            kind,
+            bits,
+            reason,
+        } => format!(
+            r#"{{"type":"fault_drop","round":{round},"src":{},"dst":{},"kind":"{}","bits":{bits},"reason":"{}"}}"#,
+            src.0,
+            dst.0,
+            json_escape(kind.as_str()),
+            reason.as_str(),
+        ),
+        TraceEvent::FaultDuplicate {
+            round,
+            src,
+            dst,
+            kind,
+        } => format!(
+            r#"{{"type":"fault_duplicate","round":{round},"src":{},"dst":{},"kind":"{}"}}"#,
+            src.0,
+            dst.0,
+            json_escape(kind.as_str()),
+        ),
+        TraceEvent::NodeCrash { round, node } => {
+            format!(
+                r#"{{"type":"node_crash","round":{round},"node":{}}}"#,
+                node.0
+            )
+        }
+        TraceEvent::NodeRecover { round, node } => format!(
+            r#"{{"type":"node_recover","round":{round},"node":{}}}"#,
+            node.0
+        ),
+        TraceEvent::PartitionStart { round, id, island } => {
+            format!(r#"{{"type":"partition_start","round":{round},"id":{id},"island":{island}}}"#,)
+        }
+        TraceEvent::PartitionHeal { round, id } => {
+            format!(r#"{{"type":"partition_heal","round":{round},"id":{id}}}"#)
+        }
     }
 }
 
@@ -179,6 +220,37 @@ impl ChromeTrace {
                 r#"{{"name":"op {op}","cat":"op","ph":"e","id":"{op}","pid":{pid},"tid":{},"ts":{round}}}"#,
                 node.0,
             )),
+            TraceEvent::FaultDrop { round, src, dst, kind, bits, reason } => {
+                self.records.push(format!(
+                    r#"{{"name":"drop {} ({})","cat":"fault","ph":"i","s":"t","pid":{pid},"tid":{},"ts":{round},"args":{{"src":{},"bits":{bits}}}}}"#,
+                    json_escape(kind.as_str()),
+                    reason.as_str(),
+                    dst.0,
+                    src.0,
+                ))
+            }
+            TraceEvent::FaultDuplicate { round, src, dst, kind } => {
+                self.records.push(format!(
+                    r#"{{"name":"dup {}","cat":"fault","ph":"i","s":"t","pid":{pid},"tid":{},"ts":{round},"args":{{"dst":{}}}}}"#,
+                    json_escape(kind.as_str()),
+                    src.0,
+                    dst.0,
+                ))
+            }
+            TraceEvent::NodeCrash { round, node } => self.records.push(format!(
+                r#"{{"name":"crash","cat":"fault","ph":"i","s":"p","pid":{pid},"tid":{},"ts":{round}}}"#,
+                node.0,
+            )),
+            TraceEvent::NodeRecover { round, node } => self.records.push(format!(
+                r#"{{"name":"recover","cat":"fault","ph":"i","s":"p","pid":{pid},"tid":{},"ts":{round}}}"#,
+                node.0,
+            )),
+            TraceEvent::PartitionStart { round, id, island } => self.records.push(format!(
+                r#"{{"name":"partition {id}","cat":"fault","ph":"i","s":"p","pid":{pid},"tid":0,"ts":{round},"args":{{"island":{island}}}}}"#,
+            )),
+            TraceEvent::PartitionHeal { round, id } => self.records.push(format!(
+                r#"{{"name":"heal {id}","cat":"fault","ph":"i","s":"p","pid":{pid},"tid":0,"ts":{round}}}"#,
+            )),
         }
     }
 
@@ -237,6 +309,23 @@ mod tests {
                 value: 7,
             },
             TraceEvent::OpCompleted { round: 1, node, op },
+            TraceEvent::FaultDrop {
+                round: 2,
+                src: node,
+                dst: NodeId(0),
+                kind: MsgKind("test.msg"),
+                bits: 12,
+                reason: crate::event::DropReason::Partition,
+            },
+            TraceEvent::NodeCrash {
+                round: 3,
+                node: NodeId(0),
+            },
+            TraceEvent::PartitionStart {
+                round: 4,
+                id: 1,
+                island: 3,
+            },
         ]
     }
 
@@ -276,13 +365,17 @@ mod tests {
         write_jsonl(&sample_events(), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 8);
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
             check_balanced(line);
         }
         assert!(text.contains(r#""type":"op_injected""#));
         assert!(text.contains(r#""op":"v1#0""#));
+        assert!(text.contains(r#""type":"fault_drop""#));
+        assert!(text.contains(r#""reason":"partition""#));
+        assert!(text.contains(r#""type":"node_crash""#));
+        assert!(text.contains(r#""type":"partition_start""#));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! much* a run cost under the paper's §1.1 model (rounds, congestion,
 //! message bits); this crate answers *why*: a stream of [`TraceEvent`]s —
 //! sends, deliveries, activations, round boundaries, protocol phase marks,
-//! and operation inject/complete pairs — captured by a [`Tracer`] sink and
-//! exported as JSONL or Chrome trace-event JSON (loadable in Perfetto or
-//! `chrome://tracing`).
+//! operation inject/complete pairs, and fault-layer events (message drops
+//! with their reason, injected duplicates, node crash/recover, partition
+//! cut/heal) — captured by a [`Tracer`] sink and exported as JSONL or Chrome
+//! trace-event JSON (loadable in Perfetto or `chrome://tracing`).
 //!
 //! Tracing is zero-cost when off: the schedulers are generic over the sink
 //! and the default [`NullTracer`] advertises `ENABLED = false` as an
@@ -21,6 +22,6 @@ pub mod event;
 pub mod export;
 pub mod tracer;
 
-pub use event::{EventMask, TraceEvent};
+pub use event::{DropReason, EventMask, TraceEvent};
 pub use export::{write_chrome_trace, write_jsonl, ChromeTrace};
 pub use tracer::{NullTracer, RingTracer, Tracer, VecTracer};

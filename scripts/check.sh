@@ -7,3 +7,9 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+
+# Fault-matrix smoke tier: the E16 recovery table driven through a custom
+# TOML plan — exercises the --faults parsing and the fault-injection path
+# end to end in release mode (the full conformance grid runs in the test
+# step above, via tests/faults.rs).
+cargo run -q -p dpq-bench --release --bin experiments -- e16 --faults scripts/faults-smoke.toml

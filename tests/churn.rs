@@ -1,91 +1,223 @@
 //! Join/Leave integration (§1.4(4)): membership churn with element
 //! handover must never lose heap contents, and the restored topology must
 //! remain a valid substrate for the protocols.
+//!
+//! Handover runs *through the network*: each churn event queues the changed
+//! segments as transfer messages and the asynchronous scheduler delivers
+//! them under a lossy fault plan, with the reliable transport absorbing the
+//! drops — so "no element loss" is established against real message-passing
+//! semantics, not direct shard manipulation.
+
+use std::collections::VecDeque;
 
 use dpq::core::hashing::domains;
-use dpq::core::{DetRng, ElemId, Element, NodeId, Priority};
+use dpq::core::{BitSize, DetRng, ElemId, Element, MsgKind, NodeId, Priority};
 use dpq::dht::{point_for, DhtShard};
 use dpq::overlay::{membership, tree, Topology};
+use dpq::sim::{AsyncConfig, AsyncScheduler, Ctx, FaultPlan, Protocol, Reliable};
 
-/// Simulate the storage side of churn: elements live in per-node shards
-/// keyed by the topology's manager function; joins and leaves re-home
-/// exactly the segments that changed hands.
-struct ChurnSim {
-    topo: Topology,
-    shards: Vec<DhtShard>,
+/// One element changing homes.
+#[derive(Debug, Clone)]
+struct Xfer {
+    logical: u64,
+    elem: Element,
 }
 
-impl ChurnSim {
-    fn new(n: usize, seed: u64) -> Self {
-        ChurnSim {
-            topo: Topology::new(n, seed),
-            shards: (0..n).map(|_| DhtShard::new()).collect(),
+impl BitSize for Xfer {
+    fn bits(&self) -> u64 {
+        self.logical.bits() + self.elem.bits()
+    }
+
+    fn kind(&self) -> MsgKind {
+        MsgKind("churn.xfer")
+    }
+}
+
+/// The storage side of one node under churn: its shard plus the transfers
+/// the current churn event obliges it to push out.
+struct HandoverNode {
+    shard: DhtShard,
+    outgoing: VecDeque<(NodeId, Xfer)>,
+}
+
+impl HandoverNode {
+    fn new() -> Self {
+        HandoverNode {
+            shard: DhtShard::new(),
+            outgoing: VecDeque::new(),
+        }
+    }
+}
+
+impl Protocol for HandoverNode {
+    type Msg = Xfer;
+
+    fn on_activate(&mut self, ctx: &mut Ctx<Xfer>) {
+        while let Some((dst, x)) = self.outgoing.pop_front() {
+            ctx.send(dst, x);
         }
     }
 
-    fn owner(&self, logical: u64) -> usize {
+    fn on_message(&mut self, _from: NodeId, x: Xfer, _ctx: &mut Ctx<Xfer>) {
+        self.shard.ingest([(x.logical, x.elem)]);
+    }
+
+    fn done(&self) -> bool {
+        self.outgoing.is_empty()
+    }
+}
+
+/// Network-driven churn: topology plus one reliable-transport-wrapped
+/// [`HandoverNode`] per member.
+struct ChurnNet {
+    topo: Topology,
+    nodes: Vec<Reliable<HandoverNode>>,
+    /// Per-event fault/scheduler seed counter.
+    event: u64,
+    /// Messages destroyed by the fault layer, summed over all events.
+    dropped: u64,
+}
+
+/// Retransmission timeout in adversary steps; several sweep periods of the
+/// default `AsyncConfig` so acks get a fair chance before a resend.
+const XFER_TIMEOUT: u64 = 256;
+
+impl ChurnNet {
+    fn new(n: usize, seed: u64) -> Self {
+        ChurnNet {
+            topo: Topology::new(n, seed),
+            nodes: (0..n)
+                .map(|_| Reliable::new(HandoverNode::new(), XFER_TIMEOUT))
+                .collect(),
+            event: 0,
+            dropped: 0,
+        }
+    }
+
+    fn owner_in(topo: &Topology, logical: u64) -> usize {
         let point = point_for(domains::SKEAP_KEY, logical);
-        self.topo.manager_of(point).real.index()
+        topo.manager_of(point).real.index()
+    }
+
+    fn owner(&self, logical: u64) -> usize {
+        Self::owner_in(&self.topo, logical)
     }
 
     fn put(&mut self, logical: u64, e: Element) {
         let v = self.owner(logical);
-        self.shards[v].ingest([(logical, e)]);
+        self.nodes[v].inner_mut().shard.ingest([(logical, e)]);
     }
 
     fn total(&self) -> usize {
-        self.shards.iter().map(DhtShard::len).sum()
+        self.nodes.iter().map(|n| n.inner().shard.len()).sum()
     }
 
-    /// Rebuild ownership after a topology change by draining everything and
-    /// re-homing (the protocol equivalent: each spliced node hands exactly
-    /// its changed segments to the new owner; globally that is this
-    /// re-homing restricted to the spliced segments).
-    fn rehome(&mut self, new_topo: Topology, new_n: usize) {
-        let all: Vec<(u64, Element)> = self.shards.iter_mut().flat_map(|s| s.drain_all()).collect();
-        self.topo = new_topo;
-        self.shards = (0..new_n).map(|_| DhtShard::new()).collect();
-        for (k, e) in all {
-            let v = self.owner(k);
-            self.shards[v].ingest([(k, e)]);
+    /// Switch to `new_topo` and re-home every element whose manager changed
+    /// — through the scheduler, under message drops. Nodes keep what they
+    /// still own; everything else crosses the (lossy) network and the
+    /// reliable transport must deliver it exactly once.
+    fn rehome_over_network(&mut self, new_topo: Topology) {
+        let new_n = new_topo.n();
+        // A join appends members; give them empty nodes before transfers.
+        while self.nodes.len() < new_n {
+            self.nodes
+                .push(Reliable::new(HandoverNode::new(), XFER_TIMEOUT));
         }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let inner = node.inner_mut();
+            for (logical, elem) in inner.shard.drain_all() {
+                let dst = Self::owner_in(&new_topo, logical);
+                if dst == i && i < new_n {
+                    inner.shard.ingest([(logical, elem)]);
+                } else {
+                    inner
+                        .outgoing
+                        .push_back((NodeId(dst as u64), Xfer { logical, elem }));
+                }
+            }
+        }
+        // 20% drop + 10% duplicate on every link; seeds vary per event so
+        // each handover sees fresh faults.
+        self.event += 1;
+        let plan = FaultPlan::uniform(0xC0DE + self.event, 0.2, 0.1);
+        let mut sched = AsyncScheduler::with_faults(
+            std::mem::take(&mut self.nodes),
+            77 + self.event,
+            AsyncConfig::default(),
+            plan,
+        );
+        assert!(
+            sched.run_until_quiescent(4_000_000),
+            "handover stalled at churn event {}",
+            self.event
+        );
+        self.dropped += sched.faults().stats.dropped();
+        self.nodes = sched.into_nodes();
+        // A leave removes the tail member — by now it has handed
+        // everything over.
+        for gone in self.nodes.drain(new_n..) {
+            assert!(
+                gone.inner().shard.is_empty(),
+                "leaving node still held elements"
+            );
+        }
+        self.topo = new_topo;
     }
 }
 
 #[test]
-fn churn_preserves_every_element() {
-    let mut sim = ChurnSim::new(8, 51);
+fn churn_preserves_every_element_over_lossy_network() {
+    let mut net = ChurnNet::new(8, 51);
     let mut rng = DetRng::new(52);
     let m = 200u64;
     for k in 0..m {
         let e = Element::new(ElemId::compose(NodeId(0), k), Priority(rng.below(100)), k);
-        sim.put(k, e);
+        net.put(k, e);
     }
-    assert_eq!(sim.total(), m as usize);
+    assert_eq!(net.total(), m as usize);
 
-    // 15 churn events: joins and leaves interleaved.
+    // 15 churn events: joins and leaves interleaved, every handover pushed
+    // through the lossy async scheduler.
     for i in 0..15u64 {
-        let n = sim.topo.n();
+        let n = net.topo.n();
         if i % 3 == 2 && n > 4 {
-            let (t2, _) = membership::leave_last(&sim.topo);
-            let new_n = t2.n();
-            sim.rehome(t2, new_n);
+            let (t2, _) = membership::leave_last(&net.topo);
+            net.rehome_over_network(t2);
         } else {
             let label = membership::join_label(53, 900 + i);
-            let (t2, stats) = membership::join(&sim.topo, NodeId(i % n as u64), label);
+            let (t2, stats) = membership::join(&net.topo, NodeId(i % n as u64), label);
             assert!(stats.locate_hops < 200);
-            let new_n = t2.n();
-            sim.rehome(t2, new_n);
+            net.rehome_over_network(t2);
         }
-        tree::validate(&sim.topo).expect("tree stays valid under churn");
-        assert_eq!(sim.total(), m as usize, "elements lost at churn event {i}");
+        tree::validate(&net.topo).expect("tree stays valid under churn");
+        assert_eq!(net.total(), m as usize, "elements lost at churn event {i}");
     }
+    assert!(net.dropped > 0, "the fault plan never exercised a drop");
 
-    // Every element is still retrievable under its key at the right owner.
+    // Every element is still retrievable under its key at the right owner,
+    // exactly once (duplicate deliveries suppressed by the transport).
     for k in 0..m {
-        let v = sim.owner(k);
-        let found = sim.shards[v].elements().any(|(logical, _)| logical == k);
-        assert!(found, "key {k} missing after churn");
+        let v = net.owner(k);
+        let copies = net
+            .nodes
+            .iter()
+            .map(|n| {
+                n.inner()
+                    .shard
+                    .elements()
+                    .filter(|(logical, _)| *logical == k)
+                    .count()
+            })
+            .sum::<usize>();
+        assert_eq!(copies, 1, "key {k} not exactly-once after churn");
+        assert!(
+            net.nodes[v]
+                .inner()
+                .shard
+                .elements()
+                .any(|(logical, _)| logical == k),
+            "key {k} not at its owner after churn"
+        );
     }
 }
 

@@ -1,0 +1,544 @@
+//! Fault-matrix conformance harness: the protocols, wrapped in the
+//! [`dpq::sim::Reliable`] retransmission transport, must keep every semantic
+//! theorem — witness replay, local consistency, heap properties, element
+//! conservation — across the full grid of {drop, dup, partition, crash}
+//! fault plans, and the fault layer itself must be invisible when disabled
+//! and byte-for-byte reproducible when enabled.
+
+use std::collections::BTreeSet;
+
+use dpq::core::workload::WorkloadSpec;
+use dpq::core::{ElemId, Element, History, OpKind, OpRecord, OpReturn};
+use dpq::semantics::{check_heap_properties, check_local_consistency, replay, ReplayMode};
+use dpq::sim::{
+    fault_matrix, AsyncConfig, AsyncScheduler, FaultPlan, LatencySummary, MetricsSnapshot,
+    SyncScheduler, TraceEvent, VecTracer,
+};
+use dpq_trace::export::write_jsonl;
+use proptest::prelude::*;
+
+/// Retransmission timeout (rounds) for synchronous fault runs: several
+/// times the 2-round ack RTT, small enough that recovery stays fast.
+const SYNC_RTO: u64 = 8;
+
+/// Retransmission timeout (steps) for asynchronous fault runs. Deliveries
+/// under the adversary routinely take hundreds of steps, so a timeout that
+/// is too tight triggers retransmission storms (retransmits inflate the
+/// in-flight queue, which inflates delivery latency, which triggers more
+/// timeouts); 1024 steps sits comfortably above the typical latency while
+/// still recovering drops quickly.
+const ASYNC_RTO: u64 = 1024;
+
+/// Zero lost elements: the matching must derive (no duplicate inserts, no
+/// double or phantom removes) and the elements still stored in shards must
+/// be exactly the inserted-but-never-removed ones.
+fn assert_conserved(h: &History, residual: &[Element], label: &str) {
+    h.matching()
+        .unwrap_or_else(|e| panic!("{label}: matching failed: {e:?}"));
+    let mut expect: BTreeSet<ElemId> = h
+        .records()
+        .filter_map(|r| match r.kind {
+            OpKind::Insert(e) => Some(e.id),
+            OpKind::DeleteMin => None,
+        })
+        .collect();
+    for r in h.records() {
+        if let Some(OpReturn::Removed(e)) = r.ret {
+            expect.remove(&e.id);
+        }
+    }
+    let got: BTreeSet<ElemId> = residual.iter().map(|e| e.id).collect();
+    assert_eq!(
+        residual.len(),
+        got.len(),
+        "{label}: an element is stored more than once"
+    );
+    assert_eq!(got, expect, "{label}: elements lost or fabricated");
+}
+
+// ---------------------------------------------------------------------------
+// The fault matrix: {drop} × {dup} × {partition} × {crash} × 3 protocols
+// ---------------------------------------------------------------------------
+
+/// Skeap across all 16 matrix cells: every cell completes, replays its
+/// witness order exactly, and conserves every element.
+#[test]
+fn fault_matrix_skeap_conformance() {
+    let (n, ops) = (6usize, 3usize);
+    let spec = WorkloadSpec::balanced(n, ops, 3, 4100);
+    let clean = skeap::cluster::run_sync_faulty(&spec, 3, 200_000, FaultPlan::none(), SYNC_RTO);
+    assert!(clean.completed, "clean baseline stalled");
+    let horizon = clean.time.max(64);
+    for cell in fault_matrix(n, 0xA11CE, horizon, 0.10, 0.10) {
+        let run = skeap::cluster::run_sync_faulty(&spec, 3, 400_000, cell.plan.clone(), SYNC_RTO);
+        assert!(run.completed, "skeap stalled in cell {}", cell.name);
+        let label = format!("skeap/{}", cell.name);
+        replay(&run.history, ReplayMode::Fifo)
+            .unwrap_or_else(|e| panic!("{label}: witness replay: {e:?}"));
+        check_local_consistency(&run.history)
+            .unwrap_or_else(|e| panic!("{label}: local order: {e:?}"));
+        check_heap_properties(&run.history)
+            .unwrap_or_else(|e| panic!("{label}: heap props: {e:?}"));
+        assert_conserved(&run.history, &run.residual, &label);
+        assert_eq!(
+            run.latencies.len(),
+            n * ops,
+            "{label}: missing op latencies"
+        );
+        // Recovery-latency percentiles flow through the metrics layer.
+        let lat = LatencySummary::from_samples(&run.latencies);
+        assert!(lat.max >= lat.p50, "{label}: degenerate latency summary");
+        if cell.plan.is_null() {
+            assert_eq!(run.faults.dropped(), 0, "{label}: clean cell saw faults");
+        }
+    }
+}
+
+/// Seap across all 16 matrix cells: serializability (checker-searched
+/// witnesses) plus conservation.
+#[test]
+fn fault_matrix_seap_conformance() {
+    let (n, ops) = (6usize, 3usize);
+    let spec = WorkloadSpec {
+        n,
+        ops_per_node: ops,
+        insert_ratio: 0.6,
+        n_prios: 1 << 20,
+        seed: 4200,
+    };
+    let clean = seap::cluster::run_sync_faulty(&spec, 400_000, FaultPlan::none(), SYNC_RTO);
+    assert!(clean.completed, "clean baseline stalled");
+    let horizon = clean.time.max(64);
+    for cell in fault_matrix(n, 0xB0B, horizon, 0.10, 0.10) {
+        let run = seap::cluster::run_sync_faulty(&spec, 800_000, cell.plan.clone(), SYNC_RTO);
+        assert!(run.completed, "seap stalled in cell {}", cell.name);
+        let label = format!("seap/{}", cell.name);
+        seap::checker::check_seap_history(&run.history)
+            .unwrap_or_else(|e| panic!("{label}: seap checker: {e:?}"));
+        assert_conserved(&run.history, &run.residual, &label);
+        assert_eq!(
+            run.latencies.len(),
+            n * ops,
+            "{label}: missing op latencies"
+        );
+    }
+}
+
+/// KSelect across all 16 matrix cells: the selected key must equal the
+/// sequential oracle in every surviving cell.
+#[test]
+fn fault_matrix_kselect_conformance() {
+    let (n, m) = (6usize, 48u64);
+    let k = m / 3;
+    let cands = kselect::driver::random_candidates(n, m, 1 << 16, 4300);
+    let expect = kselect::driver::sequential_select(&cands, k);
+    let cfg = kselect::KSelectConfig::default();
+    let clean = kselect::driver::run_sync_faulty(
+        n,
+        cands.clone(),
+        k,
+        cfg,
+        4300,
+        200_000,
+        FaultPlan::none(),
+        SYNC_RTO,
+    )
+    .expect("clean baseline stalled");
+    assert_eq!(clean.run.result, expect, "clean baseline wrong");
+    let horizon = clean.run.rounds.max(64);
+    for cell in fault_matrix(n, 0xCAFE, horizon, 0.10, 0.10) {
+        let sel = kselect::driver::run_sync_faulty(
+            n,
+            cands.clone(),
+            k,
+            cfg,
+            4300,
+            400_000,
+            cell.plan.clone(),
+            SYNC_RTO,
+        )
+        .unwrap_or_else(|| panic!("kselect stalled in cell {}", cell.name));
+        assert_eq!(
+            sel.run.result, expect,
+            "kselect/{}: wrong rank-k key",
+            cell.name
+        );
+    }
+}
+
+/// The faulted cells actually exercise the machinery: over the grid, the
+/// fault layer must have dropped, duplicated, partitioned and crashed, and
+/// the transport must have retransmitted and suppressed duplicates.
+#[test]
+fn fault_matrix_exercises_every_fault_kind() {
+    let spec = WorkloadSpec::balanced(6, 3, 3, 4400);
+    let clean = skeap::cluster::run_sync_faulty(&spec, 3, 200_000, FaultPlan::none(), SYNC_RTO);
+    assert!(clean.completed);
+    let mut agg = dpq::sim::FaultStats::default();
+    let (mut retransmits, mut dup_suppressed) = (0u64, 0u64);
+    for cell in fault_matrix(6, 0xD00D, clean.time.max(64), 0.10, 0.10) {
+        let run = skeap::cluster::run_sync_faulty(&spec, 3, 400_000, cell.plan, SYNC_RTO);
+        assert!(run.completed);
+        agg.dropped_chance += run.faults.dropped_chance;
+        agg.dropped_partition += run.faults.dropped_partition;
+        agg.dropped_crash += run.faults.dropped_crash;
+        agg.duplicated += run.faults.duplicated;
+        agg.crashes += run.faults.crashes;
+        agg.recoveries += run.faults.recoveries;
+        retransmits += run.retransmits;
+        dup_suppressed += run.dup_suppressed;
+    }
+    assert!(agg.dropped_chance > 0, "no chance drops across the grid");
+    assert!(
+        agg.dropped_partition > 0,
+        "no partition drops across the grid"
+    );
+    assert!(agg.dropped_crash > 0, "no crash drops across the grid");
+    assert!(agg.duplicated > 0, "no duplicates across the grid");
+    assert!(
+        agg.crashes >= 8 && agg.recoveries >= 8,
+        "crash cells misfired"
+    );
+    assert!(retransmits > 0, "transport never retransmitted");
+    assert!(dup_suppressed > 0, "transport never suppressed a duplicate");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same (seed, plan) → byte-identical trace
+// ---------------------------------------------------------------------------
+
+fn trace_bytes(events: &[TraceEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_jsonl(events, &mut buf).expect("in-memory write");
+    buf
+}
+
+fn adversarial_plan() -> FaultPlan {
+    FaultPlan::uniform(0x5EED, 0.15, 0.10)
+        .with_delay(0.2, 6)
+        .with_partition(20, 60, vec![dpq::core::NodeId(0), dpq::core::NodeId(1)])
+        .with_crash(dpq::core::NodeId(4), 30, Some(90))
+}
+
+/// Acceptance: the same (seed, FaultPlan) pair yields a byte-identical
+/// JSONL event stream across two fresh runs — sync and async.
+#[test]
+fn same_seed_same_plan_is_byte_identical() {
+    let spec = WorkloadSpec::balanced(5, 3, 3, 4500);
+    let sync_run = |_: u32| {
+        let nodes = dpq::sim::Reliable::wrap_all(skeap::cluster::build(5, 3, spec.seed), SYNC_RTO);
+        let scripts = dpq::core::workload::generate(&spec);
+        let mut sched =
+            SyncScheduler::with_faults_tracer(nodes, adversarial_plan(), VecTracer::new());
+        for (node, script) in sched.nodes_mut().iter_mut().zip(&scripts) {
+            for op in script {
+                node.inner_mut().issue(*op);
+            }
+        }
+        let out = sched.run_until_pred(400_000, |ns| ns.iter().all(|n| n.inner().all_complete()));
+        assert!(out.is_quiescent(), "faulty sync run stalled");
+        sched.into_tracer().into_events()
+    };
+    let (a, b) = (sync_run(0), sync_run(1));
+    assert!(!a.is_empty());
+    assert!(
+        a.iter().any(|e| matches!(
+            e,
+            TraceEvent::FaultDrop { .. }
+                | TraceEvent::FaultDuplicate { .. }
+                | TraceEvent::NodeCrash { .. }
+        )),
+        "adversarial plan produced no fault events"
+    );
+    assert_eq!(
+        trace_bytes(&a),
+        trace_bytes(&b),
+        "sync trace not reproducible"
+    );
+
+    let async_run = |_: u32| {
+        let nodes = dpq::sim::Reliable::wrap_all(skeap::cluster::build(5, 3, spec.seed), ASYNC_RTO);
+        let scripts = dpq::core::workload::generate(&spec);
+        let mut sched = AsyncScheduler::with_faults_tracer(
+            nodes,
+            4501,
+            AsyncConfig::default(),
+            FaultPlan::uniform(0x5EED, 0.10, 0.10).with_delay(0.2, 64),
+            VecTracer::new(),
+        );
+        for (node, script) in sched.nodes_mut().iter_mut().zip(&scripts) {
+            for op in script {
+                node.inner_mut().issue(*op);
+            }
+        }
+        let ok = sched.run_until_pred(40_000_000, |ns| ns.iter().all(|n| n.inner().all_complete()));
+        assert!(ok, "faulty async run stalled");
+        sched.into_tracer().into_events()
+    };
+    let (c, d) = (async_run(0), async_run(1));
+    assert!(!c.is_empty());
+    assert_eq!(
+        trace_bytes(&c),
+        trace_bytes(&d),
+        "async trace not reproducible"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E1/E9-style witness exactness under the async adversary at 5% + 5%
+// ---------------------------------------------------------------------------
+
+/// E1 under fire: ≥ 15 adversarial async runs at 5% drop + 5% dup; each
+/// surviving run must still replay its witness order exactly and conserve
+/// elements.
+#[test]
+fn skeap_async_witnesses_exact_under_5pct_drop_and_dup() {
+    let (mut dropped, mut retransmits) = (0u64, 0u64);
+    for s in 0..15u64 {
+        let spec = WorkloadSpec::balanced(4, 6, 3, 9100 + s);
+        let plan = FaultPlan::uniform(0xE1_0000 + s, 0.05, 0.05);
+        let run =
+            skeap::cluster::run_async_faulty(&spec, 3, 8_800 + s, 60_000_000, plan, ASYNC_RTO);
+        assert!(run.completed, "skeap async run {s} stalled");
+        let label = format!("skeap async run {s}");
+        replay(&run.history, ReplayMode::Fifo)
+            .unwrap_or_else(|e| panic!("{label}: witness replay: {e:?}"));
+        check_local_consistency(&run.history)
+            .unwrap_or_else(|e| panic!("{label}: local order: {e:?}"));
+        check_heap_properties(&run.history)
+            .unwrap_or_else(|e| panic!("{label}: heap props: {e:?}"));
+        assert_conserved(&run.history, &run.residual, &label);
+        dropped += run.faults.dropped();
+        retransmits += run.retransmits;
+    }
+    assert!(dropped > 0, "5% drop plan never dropped across 15 runs");
+    assert!(retransmits > 0, "drops never forced a retransmission");
+}
+
+/// E9 under fire: ≥ 15 adversarial async runs at 5% drop + 5% dup; each
+/// surviving run must stay serializable and conserve elements.
+#[test]
+fn seap_async_serializable_under_5pct_drop_and_dup() {
+    let (mut dropped, mut suppressed) = (0u64, 0u64);
+    for s in 0..15u64 {
+        let spec = WorkloadSpec {
+            n: 4,
+            ops_per_node: 5,
+            insert_ratio: 0.6,
+            n_prios: 1 << 20,
+            seed: 9200 + s,
+        };
+        let plan = FaultPlan::uniform(0xE9_0000 + s, 0.05, 0.05);
+        let run = seap::cluster::run_async_faulty(&spec, 8_900 + s, 60_000_000, plan, ASYNC_RTO);
+        assert!(run.completed, "seap async run {s} stalled");
+        let label = format!("seap async run {s}");
+        seap::checker::check_seap_history(&run.history)
+            .unwrap_or_else(|e| panic!("{label}: seap checker: {e:?}"));
+        assert_conserved(&run.history, &run.residual, &label);
+        dropped += run.faults.dropped();
+        suppressed += run.dup_suppressed;
+    }
+    assert!(dropped > 0, "5% drop plan never dropped across 15 runs");
+    assert!(suppressed > 0, "5% dup plan never forced a suppression");
+}
+
+// ---------------------------------------------------------------------------
+// Satellite properties
+// ---------------------------------------------------------------------------
+
+type SkeapObservation = (
+    Vec<OpRecord>,
+    MetricsSnapshot,
+    u64,
+    Vec<u64>,
+    Vec<TraceEvent>,
+);
+
+/// A Skeap sync run with an explicit plan, bare (no transport wrapper) so
+/// it is comparable to the production `run_sync_traced` path.
+fn skeap_sync_with_plan(spec: &WorkloadSpec, plan: FaultPlan) -> SkeapObservation {
+    let nodes = skeap::cluster::build(spec.n, 3, spec.seed);
+    let scripts = dpq::core::workload::generate(spec);
+    let mut sched = SyncScheduler::with_faults_tracer(nodes, plan, VecTracer::new());
+    for id in skeap::cluster::inject_all(sched.nodes_mut(), &scripts) {
+        sched.note_injected(id);
+    }
+    let out = sched.run_until_pred(400_000, |ns| ns.iter().all(skeap::SkeapNode::all_complete));
+    assert!(out.is_quiescent());
+    let recs: Vec<OpRecord> = skeap::cluster::history(sched.nodes())
+        .records()
+        .copied()
+        .collect();
+    let metrics = sched.metrics.snapshot();
+    let lats = sched.metrics.latencies().to_vec();
+    (
+        recs,
+        metrics,
+        out.rounds(),
+        lats,
+        sched.into_tracer().into_events(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// Satellite: a FaultPlan that injects nothing is observationally
+    /// invisible — identical traces (bit-for-bit as JSONL), metrics, round
+    /// counts and latencies as the plain scheduler, i.e. the E2-style
+    /// numbers cannot move.
+    #[test]
+    fn null_fault_plan_is_observationally_invisible_skeap(
+        n in 2usize..8,
+        ops in 1usize..6,
+        seed in 0u64..500,
+        nseed in 0u64..10_000,
+    ) {
+        let spec = WorkloadSpec::balanced(n, ops, 3, seed);
+        // Looks configured, injects nothing: zero probabilities plus a
+        // delay clause with no reach.
+        let null = FaultPlan::uniform(nseed, 0.0, 0.0).with_delay(0.9, 0);
+        prop_assert!(null.is_null());
+        let (base, tracer) =
+            skeap::cluster::run_sync_traced(&spec, 3, 400_000, VecTracer::new());
+        prop_assert!(base.completed);
+        let base_events = tracer.into_events();
+        let (recs, metrics, rounds, lats, events) = skeap_sync_with_plan(&spec, null);
+        let base_recs: Vec<OpRecord> = base.history.records().copied().collect();
+        prop_assert_eq!(recs, base_recs);
+        prop_assert_eq!(metrics, base.metrics);
+        prop_assert_eq!(rounds, base.rounds);
+        prop_assert_eq!(lats, base.latencies);
+        prop_assert_eq!(trace_bytes(&events), trace_bytes(&base_events));
+    }
+
+    /// Satellite (E10 numbers): the null plan is invisible to Seap's cost
+    /// measurements too.
+    #[test]
+    fn null_fault_plan_is_observationally_invisible_seap(
+        n in 2usize..7,
+        ops in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let spec = WorkloadSpec {
+            n, ops_per_node: ops, insert_ratio: 0.5, n_prios: 1 << 20, seed,
+        };
+        let base = seap::cluster::run_sync(&spec, 800_000);
+        prop_assert!(base.completed);
+        let nodes = seap::cluster::build(spec.n, spec.seed);
+        let scripts = dpq::core::workload::generate(&spec);
+        let mut sched = SyncScheduler::with_faults(nodes, FaultPlan::uniform(seed, 0.0, 0.0));
+        for id in seap::cluster::inject_all(sched.nodes_mut(), &scripts) {
+            sched.note_injected(id);
+        }
+        let out = sched.run_until_pred(800_000, |ns| {
+            ns.iter().all(seap::SeapNode::all_complete)
+        });
+        prop_assert!(out.is_quiescent());
+        let recs: Vec<OpRecord> =
+            seap::cluster::history(sched.nodes()).records().copied().collect();
+        let base_recs: Vec<OpRecord> = base.history.records().copied().collect();
+        prop_assert_eq!(recs, base_recs);
+        prop_assert_eq!(sched.metrics.snapshot(), base.metrics);
+        prop_assert_eq!(out.rounds(), base.rounds);
+    }
+
+    /// Satellite (E5 numbers): the null plan is invisible to KSelect.
+    #[test]
+    fn null_fault_plan_is_observationally_invisible_kselect(
+        n in 2usize..10,
+        m in 4u64..120,
+        seed in 0u64..500,
+    ) {
+        let k = 1 + m / 2;
+        let cands = kselect::driver::random_candidates(n, m, 1 << 16, seed);
+        let cfg = kselect::KSelectConfig::default();
+        let base = kselect::driver::run_sync(n, cands.clone(), k, cfg, seed, 500_000);
+        let mut sched = SyncScheduler::with_faults(
+            kselect::driver::build(n, cands, k, cfg, seed),
+            FaultPlan::none(),
+        );
+        let out = sched.run_until_pred(500_000, |ns| {
+            ns.iter().all(|kn: &kselect::KSelectNode| kn.result.is_some())
+        });
+        prop_assert!(out.is_quiescent());
+        prop_assert_eq!(sched.nodes()[0].result, Some(base.result));
+        prop_assert_eq!(out.rounds(), base.rounds);
+        prop_assert_eq!(sched.metrics.snapshot(), base.metrics);
+    }
+
+    /// Satellite: duplicate delivery is idempotent for Skeap — a dup-only
+    /// plan (no drops, no delay) behind the reliable transport yields the
+    /// same history, the same witnesses and the same final heap contents
+    /// as the fault-free run.
+    #[test]
+    fn duplicate_delivery_is_idempotent_skeap(
+        n in 2usize..7,
+        ops in 1usize..5,
+        seed in 0u64..300,
+        dup in 0.05f64..0.6,
+        fseed in 0u64..1000,
+    ) {
+        let spec = WorkloadSpec::balanced(n, ops, 3, seed);
+        let clean = skeap::cluster::run_sync_faulty(
+            &spec, 3, 400_000, FaultPlan::none(), 16,
+        );
+        let dup_run = skeap::cluster::run_sync_faulty(
+            &spec, 3, 400_000, FaultPlan::uniform(fseed, 0.0, dup), 16,
+        );
+        prop_assert!(clean.completed && dup_run.completed);
+        let a: Vec<OpRecord> = clean.history.records().copied().collect();
+        let b: Vec<OpRecord> = dup_run.history.records().copied().collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(clean.residual, dup_run.residual);
+    }
+
+    /// Satellite: duplicate delivery is idempotent for Seap.
+    #[test]
+    fn duplicate_delivery_is_idempotent_seap(
+        n in 2usize..6,
+        ops in 1usize..4,
+        seed in 0u64..300,
+        dup in 0.05f64..0.6,
+        fseed in 0u64..1000,
+    ) {
+        let spec = WorkloadSpec {
+            n, ops_per_node: ops, insert_ratio: 0.5, n_prios: 1 << 20, seed,
+        };
+        let clean = seap::cluster::run_sync_faulty(&spec, 800_000, FaultPlan::none(), 16);
+        let dup_run = seap::cluster::run_sync_faulty(
+            &spec, 800_000, FaultPlan::uniform(fseed, 0.0, dup), 16,
+        );
+        prop_assert!(clean.completed && dup_run.completed);
+        let a: Vec<OpRecord> = clean.history.records().copied().collect();
+        let b: Vec<OpRecord> = dup_run.history.records().copied().collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(clean.residual, dup_run.residual);
+    }
+}
+
+/// Deterministic companion to the idempotency properties: a heavy dup-only
+/// plan demonstrably injects duplicates and the transport suppresses every
+/// one of them, with zero retransmissions (nothing is ever lost).
+#[test]
+fn heavy_duplication_is_fully_suppressed() {
+    let spec = WorkloadSpec::balanced(5, 4, 3, 4600);
+    let run = skeap::cluster::run_sync_faulty(
+        &spec,
+        3,
+        400_000,
+        FaultPlan::uniform(0xD0D0, 0.0, 0.5),
+        16,
+    );
+    assert!(run.completed);
+    assert!(run.faults.duplicated > 0, "0.5 dup plan never duplicated");
+    assert!(
+        run.dup_suppressed > 0,
+        "duplicated payloads must be suppressed before the protocol"
+    );
+    assert_eq!(run.retransmits, 0, "dup-only plan must not lose anything");
+    replay(&run.history, ReplayMode::Fifo).unwrap();
+}
