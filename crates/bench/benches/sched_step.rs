@@ -1,0 +1,79 @@
+//! Criterion bench: raw scheduler stepping throughput — the metric PR 3's
+//! flight-set swap targets.
+//!
+//! Four cases mirror the headline metrics in `BENCH_pr3.json` (see
+//! `perf_probe`): the async adversary scheduler and the sync round
+//! scheduler, each under the null fault plan and under the drop+dup+delay
+//! probe plan. The workload is the steady-state relay ring from
+//! `perf_probe`, so one iteration here is a fixed chunk of steps over a
+//! population that neither drains nor explodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpq_bench::perf_probe::{probe_plan, relays, PROBE_INFLIGHT, PROBE_NODES};
+use dpq_core::NodeId;
+use dpq_sim::{AsyncConfig, AsyncScheduler, FaultPlan, SyncScheduler};
+
+/// Steps per async iteration — large enough to amortize the refill check.
+const ASYNC_CHUNK: u64 = 10_000;
+/// Rounds per sync iteration (each round moves ~`PROBE_NODES` messages).
+const SYNC_CHUNK: u64 = 200;
+
+fn bench_async(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_step");
+    g.sample_size(20);
+    for (name, plan) in [("clean", FaultPlan::none()), ("faulty", probe_plan())] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            let mut s = AsyncScheduler::with_faults(
+                relays(PROBE_NODES, PROBE_INFLIGHT),
+                1,
+                AsyncConfig::default(),
+                plan.clone(),
+            );
+            while (s.in_flight() as u64) < PROBE_INFLIGHT {
+                s.step_once();
+            }
+            b.iter(|| {
+                for _ in 0..ASYNC_CHUNK {
+                    s.step_once();
+                }
+                // Fault plans destroy messages; hold the population steady
+                // so every sample measures the same in-flight regime.
+                let pop = s.in_flight() as u64;
+                if pop < PROBE_INFLIGHT {
+                    s.node_mut(NodeId(0)).queued += PROBE_INFLIGHT - pop;
+                }
+                pop
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_round");
+    g.sample_size(20);
+    let per_node = 8u64;
+    for (name, plan) in [("clean", FaultPlan::none()), ("faulty", probe_plan())] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            let mut s = SyncScheduler::with_faults(
+                relays(PROBE_NODES, PROBE_NODES * per_node),
+                plan.clone(),
+            );
+            s.step_round();
+            b.iter(|| {
+                for _ in 0..SYNC_CHUNK {
+                    s.step_round();
+                }
+                let pop = s.in_flight() as u64;
+                if pop < PROBE_NODES * per_node {
+                    s.node_mut(NodeId(0)).queued += PROBE_NODES * per_node - pop;
+                }
+                pop
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_async, bench_sync);
+criterion_main!(benches);

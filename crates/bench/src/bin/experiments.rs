@@ -5,6 +5,7 @@
 //! cargo run -p dpq-bench --release --bin experiments -- e2 e5   # a subset
 //! cargo run -p dpq-bench --release --bin experiments -- e2 --trace /tmp/e2.json
 //! cargo run -p dpq-bench --release --bin experiments -- e16 --faults scripts/faults-smoke.toml
+//! cargo run -p dpq-bench --release --bin experiments -- --jobs 8   # 8 sweep workers
 //! ```
 //!
 //! Tables are printed and written as CSV under `results/`. With `--trace`,
@@ -14,6 +15,12 @@
 //! counters and phase-mark instants. With `--faults`, E16 replaces its
 //! standard 16-cell matrix with the fault plan parsed from the given TOML
 //! file (see [`dpq_sim::FaultPlan::from_toml`] for the dialect).
+//!
+//! `--jobs N` shards every experiment's sweep cells across N worker threads
+//! (default: the machine's available parallelism). Cells are independent
+//! and results are collected by cell index, so the printed tables and the
+//! CSV files are byte-identical for any N — `--jobs 1` if you want the
+//! timing columns of a strictly sequential run.
 
 use dpq_bench::ExpOpts;
 use std::path::PathBuf;
@@ -29,6 +36,14 @@ fn main() {
                 Some(p) => opts.trace = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--jobs" {
+            match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => dpq_bench::runner::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
                     std::process::exit(2);
                 }
             }

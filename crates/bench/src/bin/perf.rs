@@ -1,0 +1,77 @@
+//! Scheduler step-throughput probe and regression gate.
+//!
+//! ```text
+//! cargo run -p dpq-bench --release --bin perf                  # print metrics JSON
+//! cargo run -p dpq-bench --release --bin perf -- --check BENCH_pr3.json
+//! ```
+//!
+//! Measures steady-state stepping throughput of both schedulers, with and
+//! without an active fault plan, under a synthetic relay workload that keeps
+//! a fixed message population in flight (10k messages for the asynchronous
+//! scheduler — the regime where the pre-calendar-queue implementation paid
+//! an O(|in-flight|) scan per step). Output is a flat JSON object of
+//! `metric: value` pairs, the same shape `BENCH_pr3.json` stores under its
+//! `after_*` keys.
+//!
+//! With `--check <file>`, re-measures and exits non-zero if any metric fell
+//! more than 20% below the committed `after_*` value — the `perf` tier of
+//! `scripts/check.sh`.
+
+use dpq_bench::perf_probe::{measure_all, PerfMetrics};
+
+/// Fraction of the committed throughput a fresh measurement must reach.
+const FLOOR: f64 = 0.8;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            let m = measure_all();
+            println!("{}", m.to_json("after_"));
+        }
+        Some("--check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("--check requires a path to a BENCH_*.json snapshot");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("--check: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let committed = match PerfMetrics::from_json(&text, "after_") {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("--check: {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let fresh = measure_all();
+            let mut failed = false;
+            for (name, committed, fresh) in committed.zip_named(&fresh) {
+                let ratio = fresh / committed;
+                let verdict = if ratio < FLOOR { "REGRESSED" } else { "ok" };
+                eprintln!(
+                    "  perf {name}: committed {committed:.0}/s, fresh {fresh:.0}/s \
+                     ({:.0}% of committed) {verdict}",
+                    ratio * 100.0
+                );
+                failed |= ratio < FLOOR;
+            }
+            if failed {
+                eprintln!(
+                    "perf check FAILED: throughput fell >{:.0}% below {path}",
+                    (1.0 - FLOOR) * 100.0
+                );
+                std::process::exit(1);
+            }
+            eprintln!("perf check ok (floor = {:.0}% of committed)", FLOOR * 100.0);
+        }
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: perf [--check <snapshot.json>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -22,29 +22,35 @@ pub fn b1_central_congestion(_opts: &crate::ExpOpts) -> Table {
             "central/skeap",
         ],
     );
-    for n in [16usize, 64, 256, 1024] {
-        // Same workload shape for both: 4 ops per node, injected up front.
+    const NS: [usize; 4] = [16, 64, 256, 1024];
+    // Even cells run the centralized baseline, odd cells Skeap, on the same
+    // workload shape: 4 ops per node, injected up front.
+    let congestion = crate::runner::sweep(NS.len() * 2, |c| {
+        let n = NS[c / 2];
         let spec = WorkloadSpec::balanced(n, 4, 3, 21);
         let scripts = generate(&spec);
-
-        let mut central = CentralNode::build_cluster(n);
-        for (node, script) in central.iter_mut().zip(&scripts) {
-            for op in script {
-                node.issue(*op);
+        if c % 2 == 0 {
+            let mut central = CentralNode::build_cluster(n);
+            for (node, script) in central.iter_mut().zip(&scripts) {
+                for op in script {
+                    node.issue(*op);
+                }
             }
+            let mut cs = SyncScheduler::new(central);
+            assert!(cs.run_until_quiescent(1_000_000).is_quiescent());
+            cs.metrics.congestion
+        } else {
+            let mut nodes = skeap_cluster::build(n, 3, 21);
+            skeap_cluster::inject_all(&mut nodes, &scripts);
+            let mut ss = SyncScheduler::new(nodes);
+            assert!(ss
+                .run_until_pred(2_000_000, |ns| ns.iter().all(SkeapNode::all_complete))
+                .is_quiescent());
+            ss.metrics.congestion
         }
-        let mut cs = SyncScheduler::new(central);
-        assert!(cs.run_until_quiescent(1_000_000).is_quiescent());
-
-        let mut nodes = skeap_cluster::build(n, 3, 21);
-        skeap_cluster::inject_all(&mut nodes, &scripts);
-        let mut ss = SyncScheduler::new(nodes);
-        assert!(ss
-            .run_until_pred(2_000_000, |ns| ns.iter().all(SkeapNode::all_complete))
-            .is_quiescent());
-
-        let cc = cs.metrics.congestion;
-        let sc = ss.metrics.congestion;
+    });
+    for (ni, n) in NS.into_iter().enumerate() {
+        let (cc, sc) = (congestion[ni * 2], congestion[ni * 2 + 1]);
         t.row(vec![
             n.to_string(),
             cc.to_string(),
@@ -70,7 +76,9 @@ pub fn b2_naive_kselect(_opts: &crate::ExpOpts) -> Table {
             "kselect rounds",
         ],
     );
-    for n in [16usize, 64, 256] {
+    const NS: [usize; 3] = [16, 64, 256];
+    let cells = crate::runner::sweep(NS.len(), |ni| {
+        let n = NS[ni];
         let m = 16 * n as u64;
         let k = m / 2;
 
@@ -100,15 +108,21 @@ pub fn b2_naive_kselect(_opts: &crate::ExpOpts) -> Table {
         let kr = driver::run_sync(n, cands, k, KSelectConfig::default(), 24, 3_000_000);
         assert_eq!(kr.result, expect);
 
-        let nb = ns.metrics.max_msg_bits;
-        let kb = kr.metrics.max_msg_bits;
+        (
+            ns.metrics.max_msg_bits,
+            kr.metrics.max_msg_bits,
+            ns.metrics.rounds,
+            kr.rounds,
+        )
+    });
+    for (n, (nb, kb, nrounds, krounds)) in NS.into_iter().zip(&cells) {
         t.row(vec![
             n.to_string(),
             nb.to_string(),
             kb.to_string(),
-            f(nb as f64 / kb as f64),
-            ns.metrics.rounds.to_string(),
-            kr.rounds.to_string(),
+            f(*nb as f64 / *kb as f64),
+            nrounds.to_string(),
+            krounds.to_string(),
         ]);
     }
     t.note("both finish in O(log n) rounds, but the naive root message carries Θ(m) keys — the [KLW07] generic-algorithm gap KSelect's copying sidesteps");

@@ -28,15 +28,11 @@ fn run_cell(n: usize, seed: u64, plan: FaultPlan) -> cluster::FaultyRun {
     r
 }
 
-/// Mean rounds of the fault-free (but transport-wrapped) baseline.
-fn clean_rounds(n: usize) -> f64 {
-    let rounds: Vec<f64> = (0..SEEDS)
-        .map(|s| run_cell(n, 1600 + s, FaultPlan::none()).time as f64)
-        .collect();
-    mean(&rounds)
-}
-
 /// E16 — recovery latency by fault cell, plus the crash-recovery shape.
+///
+/// Runs as two parallel sweeps: first the fault-free baselines (whose mean
+/// rounds place every plan's crash/partition horizon), then every (plan,
+/// seed) cell of the matrix and the crash-shape series together.
 pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
     let mut t = Table::new(
         "e16",
@@ -53,8 +49,23 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
             "retx",
         ],
     );
+    const S: usize = SEEDS as usize;
     let n = 8usize;
-    let base = clean_rounds(n);
+    let custom = opts.faults.is_some();
+    let shape_ns: &[usize] = if custom { &[] } else { &[8, 16, 32, 64] };
+    // Sweep 1: clean (transport-wrapped, fault-free) baselines per n.
+    let clean_ns: Vec<usize> = if custom { vec![n] } else { shape_ns.to_vec() };
+    let clean_cells = crate::runner::sweep(clean_ns.len() * S, |c| {
+        run_cell(clean_ns[c / S], 1600 + (c % S) as u64, FaultPlan::none()).time as f64
+    });
+    let clean = |cn: usize| -> f64 {
+        let i = clean_ns
+            .iter()
+            .position(|&x| x == cn)
+            .expect("baseline ran");
+        mean(&clean_cells[i * S..(i + 1) * S])
+    };
+    let base = clean(n);
     let horizon = (base.round() as u64).max(64);
     let cells: Vec<FaultCell> = match &opts.faults {
         Some(plan) => vec![FaultCell {
@@ -63,12 +74,36 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
         }],
         None => fault_matrix(n, 0xE16, horizon, 0.05, 0.05),
     };
-    for cell in &cells {
+    // Sweep 2: every (plan, seed) pair — the matrix rows at n = 8, then the
+    // crash-recover shape series. The shape probes the cost of one
+    // crash-recover cycle vs n: the down node pauses the batch pipeline
+    // until it returns and retransmission refills its inbox, so the
+    // overhead should track O(timeout + log n), not grow with cluster size
+    // faster than the batch rounds themselves.
+    let mut plans: Vec<(String, usize, FaultPlan)> = cells
+        .iter()
+        .map(|c| (c.name.clone(), n, c.plan.clone()))
+        .collect();
+    for &sn in shape_ns {
+        let shorizon = (clean(sn).round() as u64).max(64);
+        let plan = FaultPlan::uniform(0xE16, 0.05, 0.05).with_crash(
+            NodeId(sn as u64 - 1),
+            shorizon / 6,
+            Some(shorizon / 3),
+        );
+        plans.push(("drop5+dup5+crash (shape)".into(), sn, plan));
+    }
+    let runs = crate::runner::sweep(plans.len() * S, |c| {
+        let (_, pn, plan) = &plans[c / S];
+        run_cell(*pn, 1600 + (c % S) as u64, plan.clone())
+    });
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (pi, (name, pn, _)) in plans.iter().enumerate() {
         let mut rounds = Vec::new();
         let mut lats = Vec::new();
         let (mut dropped, mut retx) = (0u64, 0u64);
-        for s in 0..SEEDS {
-            let r = run_cell(n, 1600 + s, cell.plan.clone());
+        for r in &runs[pi * S..(pi + 1) * S] {
             rounds.push(r.time as f64);
             lats.extend_from_slice(&r.latencies);
             dropped += r.faults.dropped();
@@ -76,11 +111,16 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
         }
         let m = mean(&rounds);
         let lat = LatencySummary::from_samples(&lats);
+        let over = m - clean(*pn);
+        if pi >= cells.len() {
+            xs.push(*pn as f64);
+            ys.push(over.max(1.0));
+        }
         t.row(vec![
-            cell.name.clone(),
-            n.to_string(),
+            name.clone(),
+            pn.to_string(),
             f(m),
-            f(m - base),
+            f(over),
             lat.p50.to_string(),
             lat.p95.to_string(),
             lat.max.to_string(),
@@ -88,48 +128,7 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
             retx.to_string(),
         ]);
     }
-    if opts.faults.is_none() {
-        // Shape: the cost of one crash-recover cycle vs n. The down node
-        // pauses the batch pipeline until it returns and retransmission
-        // refills its inbox, so the overhead should track
-        // O(timeout + log n), not grow with cluster size faster than the
-        // batch rounds themselves.
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
-        for n in [8usize, 16, 32, 64] {
-            let base = clean_rounds(n);
-            let horizon = (base.round() as u64).max(64);
-            let plan = FaultPlan::uniform(0xE16, 0.05, 0.05).with_crash(
-                NodeId(n as u64 - 1),
-                horizon / 6,
-                Some(horizon / 3),
-            );
-            let mut rounds = Vec::new();
-            let mut lats = Vec::new();
-            let (mut dropped, mut retx) = (0u64, 0u64);
-            for s in 0..SEEDS {
-                let r = run_cell(n, 1600 + s, plan.clone());
-                rounds.push(r.time as f64);
-                lats.extend_from_slice(&r.latencies);
-                dropped += r.faults.dropped();
-                retx += r.retransmits;
-            }
-            let m = mean(&rounds);
-            let lat = LatencySummary::from_samples(&lats);
-            xs.push(n as f64);
-            ys.push((m - base).max(1.0));
-            t.row(vec![
-                "drop5+dup5+crash (shape)".into(),
-                n.to_string(),
-                f(m),
-                f(m - base),
-                lat.p50.to_string(),
-                lat.p95.to_string(),
-                lat.max.to_string(),
-                dropped.to_string(),
-                retx.to_string(),
-            ]);
-        }
+    if !custom {
         let (a, b, r2) = log_fit(&xs, &ys);
         t.note(format!(
             "crash-recover overhead ≈ {}·log2(n) + {}  (r² = {:.3}); with RTO = {RTO} rounds \

@@ -29,34 +29,50 @@ pub fn e5_costs(opts: &crate::ExpOpts) -> Table {
         ],
     );
     let mut chrome = crate::trace_collector(opts);
+    let traced = chrome.is_some();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
+    const NS: [usize; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+    const SEEDS: usize = 3;
+    // (n, seed) cells run in parallel; traced cells return their event logs
+    // so the Chrome trace is assembled in cell order below.
+    let cells = crate::runner::sweep(NS.len() * SEEDS, |c| {
+        let n = NS[c / SEEDS];
+        let s = (c % SEEDS) as u64;
         let m = 16 * n as u64;
-        let runs: Vec<driver::KSelectRun> = (0..3u64)
-            .map(|s| {
-                let seed = 600 + s;
-                let cands = driver::random_candidates(n, m, 1 << 30, seed);
-                let expect = driver::sequential_select(&cands, m / 2);
-                let run = if let Some(ct) = chrome.as_mut() {
-                    let (run, tracer) = driver::run_sync_traced(
-                        n,
-                        cands,
-                        m / 2,
-                        KSelectConfig::default(),
-                        seed,
-                        3_000_000,
-                        crate::control_tracer(),
-                    );
-                    ct.add_run(&format!("e5 n={n} seed={seed}"), &tracer.into_events());
-                    run
-                } else {
-                    driver::run_sync(n, cands, m / 2, KSelectConfig::default(), seed, 3_000_000)
-                };
-                assert_eq!(run.result, expect, "KSelect answered incorrectly");
-                run
-            })
-            .collect();
+        let seed = 600 + s;
+        let cands = driver::random_candidates(n, m, 1 << 30, seed);
+        let expect = driver::sequential_select(&cands, m / 2);
+        let (run, trace) = if traced {
+            let (run, tracer) = driver::run_sync_traced(
+                n,
+                cands,
+                m / 2,
+                KSelectConfig::default(),
+                seed,
+                3_000_000,
+                crate::control_tracer(),
+            );
+            let label = format!("e5 n={n} seed={seed}");
+            (run, Some((label, tracer.into_events())))
+        } else {
+            (
+                driver::run_sync(n, cands, m / 2, KSelectConfig::default(), seed, 3_000_000),
+                None,
+            )
+        };
+        assert_eq!(run.result, expect, "KSelect answered incorrectly");
+        (run, trace)
+    });
+    for (ni, &n) in NS.iter().enumerate() {
+        let group = &cells[ni * SEEDS..(ni + 1) * SEEDS];
+        if let Some(ct) = chrome.as_mut() {
+            for (_, trace) in group {
+                let (label, events) = trace.as_ref().expect("traced cell kept its events");
+                ct.add_run(label, events);
+            }
+        }
+        let runs: Vec<&driver::KSelectRun> = group.iter().map(|(r, _)| r).collect();
         let rounds = mean(&runs.iter().map(|r| r.rounds as f64).collect::<Vec<_>>());
         let cong = mean(
             &runs
@@ -109,9 +125,14 @@ pub fn e6_phase1_reduction(_opts: &crate::ExpOpts) -> Table {
             "N/bound",
         ],
     );
-    for (n, q) in [(16usize, 2u32), (32, 2), (64, 2), (16, 3)] {
+    const POINTS: [(usize, u32); 4] = [(16, 2), (32, 2), (64, 2), (16, 3)];
+    let rs = crate::runner::sweep(POINTS.len(), |i| {
+        let (n, q) = POINTS[i];
         let m = (n as u64).pow(q) * 2;
-        let r = run(n, m, m / 2, 700);
+        run(n, m, m / 2, 700)
+    });
+    for ((n, q), r) in POINTS.into_iter().zip(&rs) {
+        let m = (n as u64).pow(q) * 2;
         let bound = (n as f64).powf(1.5) * (n as f64).ln();
         t.row(vec![
             n.to_string(),
@@ -140,9 +161,14 @@ pub fn e7_phase2_iterations(_opts: &crate::ExpOpts) -> Table {
             "N at P3",
         ],
     );
-    for n in [64usize, 256, 1024] {
+    const NS: [usize; 3] = [64, 256, 1024];
+    let rs = crate::runner::sweep(NS.len(), |i| {
+        let n = NS[i];
         let m = (n * n) as u64;
-        let r = run(n, m, m / 3, 800);
+        run(n, m, m / 3, 800)
+    });
+    for (n, r) in NS.into_iter().zip(&rs) {
+        let m = (n * n) as u64;
         t.row(vec![
             n.to_string(),
             m.to_string(),
@@ -163,9 +189,14 @@ pub fn e8_tree_memberships(_opts: &crate::ExpOpts) -> Table {
         "Copy-tree memberships per node per sorting epoch (Lemma 4.5: Θ(1) expected)",
         &["n", "m", "avg memberships/node/epoch"],
     );
-    for n in [64usize, 256, 1024] {
+    const NS: [usize; 3] = [64, 256, 1024];
+    let rs = crate::runner::sweep(NS.len(), |i| {
+        let n = NS[i];
         let m = 32 * n as u64;
-        let r = run(n, m, m / 2, 900);
+        run(n, m, m / 2, 900)
+    });
+    for (n, r) in NS.into_iter().zip(&rs) {
+        let m = 32 * n as u64;
         t.row(vec![
             n.to_string(),
             m.to_string(),

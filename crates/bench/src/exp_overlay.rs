@@ -22,7 +22,9 @@ pub fn e12_tree_and_dht(_opts: &crate::ExpOpts) -> Table {
             "load max/mean (m=64n)",
         ],
     );
-    for n in [16usize, 64, 256, 1024] {
+    const NS: [usize; 4] = [16, 64, 256, 1024];
+    let cells = crate::runner::sweep(NS.len(), |ni| {
+        let n = NS[ni];
         let heights: Vec<f64> = (0..5)
             .map(|s| tree::real_height(&Topology::new(n, 2000 + s)) as f64)
             .collect();
@@ -71,13 +73,15 @@ pub fn e12_tree_and_dht(_opts: &crate::ExpOpts) -> Table {
             .map(|nd| nd.shard.len() as f64)
             .collect();
         let ratio = crate::stats::max(&loads) / mean(&loads);
-
+        (h, r1 + r2, ratio)
+    });
+    for (n, (h, rounds, ratio)) in NS.into_iter().zip(&cells) {
         t.row(vec![
             n.to_string(),
-            f(h),
+            f(*h),
             f(h / (n as f64).log2()),
-            format!("{}", r1 + r2),
-            f(ratio),
+            rounds.to_string(),
+            f(*ratio),
         ]);
     }
     t.note("height/log2(n) flat ⇒ Corollary A.4; load ratio bounded ⇒ Lemma 2.2(iv) fairness");
@@ -93,7 +97,9 @@ pub fn e13_routing(_opts: &crate::ExpOpts) -> Table {
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for n in [16usize, 64, 256, 1024, 4096] {
+    const NS: [usize; 5] = [16, 64, 256, 1024, 4096];
+    let cells = crate::runner::sweep(NS.len(), |ni| {
+        let n = NS[ni];
         let topo = Topology::new(n, 3000);
         let mut hops: Vec<f64> = Vec::new();
         for i in 0..400 {
@@ -104,13 +110,16 @@ pub fn e13_routing(_opts: &crate::ExpOpts) -> Table {
         hops.sort_by(f64::total_cmp);
         let avg = mean(&hops);
         let p99 = hops[(hops.len() as f64 * 0.99) as usize];
+        (avg, p99, *hops.last().unwrap())
+    });
+    for (n, (avg, p99, max)) in NS.into_iter().zip(&cells) {
         xs.push(n as f64);
-        ys.push(avg);
+        ys.push(*avg);
         t.row(vec![
             n.to_string(),
-            f(avg),
-            f(p99),
-            f(*hops.last().unwrap()),
+            f(*avg),
+            f(*p99),
+            f(*max),
             f(avg / (n as f64).log2()),
         ]);
     }
@@ -136,7 +145,9 @@ pub fn e14_join_leave(_opts: &crate::ExpOpts) -> Table {
             "churn validity",
         ],
     );
-    for n in [32usize, 128, 512] {
+    const NS: [usize; 3] = [32, 128, 512];
+    let cells = crate::runner::sweep(NS.len(), |ni| {
+        let n = NS[ni];
         let mut topo = Topology::new(n, 4000);
         let mut hops = Vec::new();
         let mut valid = true;
@@ -152,11 +163,14 @@ pub fn e14_join_leave(_opts: &crate::ExpOpts) -> Table {
             }
             valid &= tree::validate(&topo).is_ok();
         }
+        (mean(&hops), valid)
+    });
+    for (n, (hops, valid)) in NS.into_iter().zip(&cells) {
         t.row(vec![
             n.to_string(),
-            f(mean(&hops)),
+            f(*hops),
             "6".into(),
-            if valid { "20/20 valid" } else { "BROKEN" }.into(),
+            if *valid { "20/20 valid" } else { "BROKEN" }.into(),
         ]);
     }
     t.note("locate cost = one point-route (E13); splice touches 6 pred/succ links");

@@ -16,14 +16,18 @@ pub fn e9_semantics(_opts: &crate::ExpOpts) -> Table {
         "Seap serializability & heap consistency under the async adversary (Thm 5.1(2))",
         &["n", "ops", "seeds", "serializable", "heap consistent"],
     );
-    for (n, ops) in [(4usize, 16usize), (8, 12), (15, 10)] {
-        let seeds = 5u64;
-        let mut ok = 0;
-        for s in 0..seeds {
-            let spec = WorkloadSpec::balanced(n, ops, 1 << 24, 400 + s);
-            let h = cluster::run_async(&spec, 8_000 + s, 80_000_000).expect("async run completed");
-            ok += check_seap_history(&h).is_ok() as u32;
-        }
+    const CFGS: [(usize, usize); 3] = [(4, 16), (8, 12), (15, 10)];
+    const SEEDS: usize = 5;
+    let cells = crate::runner::sweep(CFGS.len() * SEEDS, |c| {
+        let (n, ops) = CFGS[c / SEEDS];
+        let s = (c % SEEDS) as u64;
+        let spec = WorkloadSpec::balanced(n, ops, 1 << 24, 400 + s);
+        let h = cluster::run_async(&spec, 8_000 + s, 80_000_000).expect("async run completed");
+        check_seap_history(&h).is_ok() as u32
+    });
+    for (ci, (n, ops)) in CFGS.into_iter().enumerate() {
+        let seeds = SEEDS as u64;
+        let ok: u32 = cells[ci * SEEDS..(ci + 1) * SEEDS].iter().sum();
         t.row(vec![
             n.to_string(),
             (n * ops).to_string(),
@@ -53,28 +57,35 @@ pub fn e10_costs(opts: &crate::ExpOpts) -> Table {
         ],
     );
     let mut chrome = crate::trace_collector(opts);
+    let traced = chrome.is_some();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for n in [8usize, 16, 32, 64, 128, 256, 512] {
-        let runs: Vec<_> = (0..3u64)
-            .map(|s| {
-                let spec = WorkloadSpec::balanced(n, 4, 1 << 24, 510 + s);
-                let run = if let Some(ct) = chrome.as_mut() {
-                    let (run, tracer) =
-                        cluster::run_sync_traced(&spec, 3_000_000, crate::control_tracer());
-                    ct.add_run(
-                        &format!("e10 n={n} seed={}", 510 + s),
-                        &tracer.into_events(),
-                    );
-                    run
-                } else {
-                    cluster::run_sync(&spec, 3_000_000)
-                };
-                assert!(run.completed);
-                check_seap_history(&run.history).expect("semantics hold");
-                run
-            })
-            .collect();
+    const NS: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
+    const SEEDS: usize = 3;
+    let cells = crate::runner::sweep(NS.len() * SEEDS, |c| {
+        let n = NS[c / SEEDS];
+        let s = (c % SEEDS) as u64;
+        let spec = WorkloadSpec::balanced(n, 4, 1 << 24, 510 + s);
+        let (run, trace) = if traced {
+            let (run, tracer) = cluster::run_sync_traced(&spec, 3_000_000, crate::control_tracer());
+            let label = format!("e10 n={n} seed={}", 510 + s);
+            (run, Some((label, tracer.into_events())))
+        } else {
+            (cluster::run_sync(&spec, 3_000_000), None)
+        };
+        assert!(run.completed);
+        check_seap_history(&run.history).expect("semantics hold");
+        (run, trace)
+    });
+    for (ni, &n) in NS.iter().enumerate() {
+        let group = &cells[ni * SEEDS..(ni + 1) * SEEDS];
+        if let Some(ct) = chrome.as_mut() {
+            for (_, trace) in group {
+                let (label, events) = trace.as_ref().expect("traced cell kept its events");
+                ct.add_run(label, events);
+            }
+        }
+        let runs: Vec<_> = group.iter().map(|(r, _)| r).collect();
         let rounds = mean(&runs.iter().map(|r| r.rounds as f64).collect::<Vec<_>>());
         let cong = mean(
             &runs
@@ -152,9 +163,19 @@ pub fn e11_message_size_vs_skeap(_opts: &crate::ExpOpts) -> Table {
         "Max message bits vs injection rate Λ at n=128: Skeap O(Λ log²n) vs Seap O(log n)",
         &["Λ", "Skeap bits", "Seap bits", "ratio"],
     );
-    for lambda in [1usize, 4, 16, 64] {
-        let skeap_bits = crate::exp_skeap::max_bits_at_rate(128, lambda, 31);
-        let seap_bits = seap_max_bits(128, lambda, 31);
+    const LAMBDAS: [usize; 4] = [1, 4, 16, 64];
+    // Even cells run Skeap, odd cells Seap — both protocols' rate runs at
+    // every Λ proceed concurrently.
+    let bits = crate::runner::sweep(LAMBDAS.len() * 2, |c| {
+        let lambda = LAMBDAS[c / 2];
+        if c % 2 == 0 {
+            crate::exp_skeap::max_bits_at_rate(128, lambda, 31)
+        } else {
+            seap_max_bits(128, lambda, 31)
+        }
+    });
+    for (li, lambda) in LAMBDAS.into_iter().enumerate() {
+        let (skeap_bits, seap_bits) = (bits[li * 2], bits[li * 2 + 1]);
         t.row(vec![
             lambda.to_string(),
             skeap_bits.to_string(),

@@ -24,16 +24,28 @@ pub fn e1_semantics(_opts: &crate::ExpOpts) -> Table {
             "heap props ok",
         ],
     );
-    for (n, ops) in [(4usize, 20usize), (9, 15), (17, 12)] {
-        let seeds = 6u64;
+    const CFGS: [(usize, usize); 3] = [(4, 20), (9, 15), (17, 12)];
+    const SEEDS: usize = 6;
+    // One sweep cell per (cluster shape, seed): each builds and runs its own
+    // adversarial execution, so the cells shard freely across --jobs workers.
+    let cells = crate::runner::sweep(CFGS.len() * SEEDS, |c| {
+        let (n, ops) = CFGS[c / SEEDS];
+        let s = (c % SEEDS) as u64;
+        let spec = WorkloadSpec::balanced(n, ops, 3, 300 + s);
+        let h = cluster::run_async(&spec, 3, 7_000 + s, 40_000_000).expect("async run completed");
+        (
+            replay(&h, ReplayMode::Fifo).is_ok() as u32,
+            check_local_consistency(&h).is_ok() as u32,
+            check_heap_properties(&h).is_ok() as u32,
+        )
+    });
+    for (ci, (n, ops)) in CFGS.into_iter().enumerate() {
+        let seeds = SEEDS as u64;
         let mut ok = (0, 0, 0);
-        for s in 0..seeds {
-            let spec = WorkloadSpec::balanced(n, ops, 3, 300 + s);
-            let h =
-                cluster::run_async(&spec, 3, 7_000 + s, 40_000_000).expect("async run completed");
-            ok.0 += replay(&h, ReplayMode::Fifo).is_ok() as u32;
-            ok.1 += check_local_consistency(&h).is_ok() as u32;
-            ok.2 += check_heap_properties(&h).is_ok() as u32;
+        for (a, b, c) in &cells[ci * SEEDS..(ci + 1) * SEEDS] {
+            ok.0 += a;
+            ok.1 += b;
+            ok.2 += c;
         }
         t.row(vec![
             n.to_string(),
@@ -63,22 +75,35 @@ pub fn e2_rounds(opts: &crate::ExpOpts) -> Table {
         ],
     );
     let mut chrome = crate::trace_collector(opts);
+    let traced = chrome.is_some();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for n in [8usize, 16, 32, 64, 128, 256, 512, 1024] {
+    const NS: [usize; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+    const SEEDS: usize = 3;
+    // (n, seed) cells run in parallel; traced cells return their event logs
+    // so the Chrome trace is assembled in cell order below (identical file
+    // for any --jobs).
+    let cells = crate::runner::sweep(NS.len() * SEEDS, |c| {
+        let n = NS[c / SEEDS];
+        let s = (c % SEEDS) as u64;
+        let spec = WorkloadSpec::balanced(n, 4, 2, 500 + s);
+        if traced {
+            let (run, tracer) =
+                cluster::run_sync_traced(&spec, 2, 2_000_000, crate::control_tracer());
+            let label = format!("e2 n={n} seed={}", 500 + s);
+            (run, Some((label, tracer.into_events())))
+        } else {
+            (cluster::run_sync(&spec, 2, 2_000_000), None)
+        }
+    });
+    for (ni, &n) in NS.iter().enumerate() {
         let mut rounds = Vec::new();
         let mut lats = Vec::new();
-        for s in 0..3u64 {
-            let spec = WorkloadSpec::balanced(n, 4, 2, 500 + s);
-            let run = if let Some(ct) = chrome.as_mut() {
-                let (run, tracer) =
-                    cluster::run_sync_traced(&spec, 2, 2_000_000, crate::control_tracer());
-                ct.add_run(&format!("e2 n={n} seed={}", 500 + s), &tracer.into_events());
-                run
-            } else {
-                cluster::run_sync(&spec, 2, 2_000_000)
-            };
+        for (run, trace) in &cells[ni * SEEDS..(ni + 1) * SEEDS] {
             assert!(run.completed);
+            if let (Some(ct), Some((label, events))) = (chrome.as_mut(), trace.as_ref()) {
+                ct.add_run(label, events);
+            }
             rounds.push(run.rounds as f64);
             lats.extend_from_slice(&run.latencies);
         }
@@ -146,8 +171,9 @@ pub fn e3_congestion(_opts: &crate::ExpOpts) -> Table {
         "Skeap congestion vs injection rate Λ at n=128 (Lemma 3.7: Õ(Λ))",
         &["Λ", "congestion", "congestion/Λ"],
     );
-    for lambda in [1usize, 2, 4, 8, 16, 32] {
-        let m = run_rate(128, lambda, 12, 77);
+    const LAMBDAS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+    let ms = crate::runner::sweep(LAMBDAS.len(), |i| run_rate(128, LAMBDAS[i], 12, 77));
+    for (lambda, m) in LAMBDAS.into_iter().zip(&ms) {
         t.row(vec![
             lambda.to_string(),
             m.congestion.to_string(),
@@ -165,16 +191,20 @@ pub fn e4_message_bits(_opts: &crate::ExpOpts) -> Table {
         "Skeap max message size vs Λ and n (Lemma 3.8: O(Λ·log² n) bits)",
         &["n", "Λ", "max msg bits", "bits/(Λ·log²n)"],
     );
-    for (n, lambda) in [
-        (64usize, 1usize),
+    const POINTS: [(usize, usize); 7] = [
+        (64, 1),
         (64, 4),
         (64, 16),
         (256, 1),
         (256, 4),
         (256, 16),
         (1024, 4),
-    ] {
-        let m = run_rate(n, lambda, 8, 99);
+    ];
+    let ms = crate::runner::sweep(POINTS.len(), |i| {
+        let (n, lambda) = POINTS[i];
+        run_rate(n, lambda, 8, 99)
+    });
+    for ((n, lambda), m) in POINTS.into_iter().zip(&ms) {
         let denom = lambda as f64 * (n as f64).log2().powi(2);
         t.row(vec![
             n.to_string(),
@@ -204,44 +234,47 @@ pub fn e15_discipline_ablation(_opts: &crate::ExpOpts) -> Table {
             "lifo max bits",
         ],
     );
-    for n in [16usize, 64, 256] {
-        let mut results = Vec::new();
-        for lifo in [false, true] {
-            let topo = Topology::new(n, 17);
-            let cfg = if lifo {
-                skeap::SkeapConfig::lifo(2)
-            } else {
-                skeap::SkeapConfig::fifo(2)
-            };
-            let mut nodes = SkeapNode::build_cluster(NodeView::extract_all(&topo), cfg);
-            // Alternating push-heavy / pop-heavy waves to provoke
-            // fragmentation under LIFO.
-            let mut sched = SyncScheduler::new(std::mem::take(&mut nodes));
-            for wave in 0..4u64 {
-                for v in 0..n {
-                    sched.nodes_mut()[v].issue_insert((v as u64 + wave) % 2, wave);
-                    if wave % 2 == 1 {
-                        sched.nodes_mut()[v].issue_delete();
-                    }
+    const NS: [usize; 3] = [16, 64, 256];
+    // One cell per (n, discipline): even cells FIFO, odd cells LIFO.
+    let cells = crate::runner::sweep(NS.len() * 2, |c| {
+        let n = NS[c / 2];
+        let lifo = c % 2 == 1;
+        let topo = Topology::new(n, 17);
+        let cfg = if lifo {
+            skeap::SkeapConfig::lifo(2)
+        } else {
+            skeap::SkeapConfig::fifo(2)
+        };
+        let mut nodes = SkeapNode::build_cluster(NodeView::extract_all(&topo), cfg);
+        // Alternating push-heavy / pop-heavy waves to provoke
+        // fragmentation under LIFO.
+        let mut sched = SyncScheduler::new(std::mem::take(&mut nodes));
+        for wave in 0..4u64 {
+            for v in 0..n {
+                sched.nodes_mut()[v].issue_insert((v as u64 + wave) % 2, wave);
+                if wave % 2 == 1 {
+                    sched.nodes_mut()[v].issue_delete();
                 }
-                let out =
-                    sched.run_until_pred(2_000_000, |ns| ns.iter().all(SkeapNode::all_complete));
-                assert!(out.is_quiescent());
             }
-            let mode = if lifo {
-                ReplayMode::Lifo
-            } else {
-                ReplayMode::Fifo
-            };
-            replay(&cluster::history(sched.nodes()), mode).expect("semantics hold");
-            results.push((sched.round(), sched.metrics.max_msg_bits));
+            let out = sched.run_until_pred(2_000_000, |ns| ns.iter().all(SkeapNode::all_complete));
+            assert!(out.is_quiescent());
         }
+        let mode = if lifo {
+            ReplayMode::Lifo
+        } else {
+            ReplayMode::Fifo
+        };
+        replay(&cluster::history(sched.nodes()), mode).expect("semantics hold");
+        (sched.round(), sched.metrics.max_msg_bits)
+    });
+    for (ni, n) in NS.into_iter().enumerate() {
+        let (fifo, lifo) = (cells[ni * 2], cells[ni * 2 + 1]);
         t.row(vec![
             n.to_string(),
-            results[0].0.to_string(),
-            results[1].0.to_string(),
-            results[0].1.to_string(),
-            results[1].1.to_string(),
+            fifo.0.to_string(),
+            lifo.0.to_string(),
+            fifo.1.to_string(),
+            lifo.1.to_string(),
         ]);
     }
     t.note("both disciplines verified sequentially consistent against their replay oracle");

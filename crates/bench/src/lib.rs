@@ -14,6 +14,8 @@ pub mod exp_kselect;
 pub mod exp_overlay;
 pub mod exp_seap;
 pub mod exp_skeap;
+pub mod perf_probe;
+pub mod runner;
 pub mod stats;
 pub mod table;
 

@@ -1,0 +1,144 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Every experiment is a sweep over independent *cells* — one (protocol, n,
+//! Λ, seed, fault-plan) point each, fully self-contained: the cell closure
+//! builds its own scheduler, RNG, and metrics from the cell index alone, so
+//! cells share no mutable state and can run on any thread in any order.
+//!
+//! [`sweep`] shards the cell indices across `--jobs` scoped worker threads
+//! pulling from an atomic cursor, and collects results **by cell index**.
+//! Because each cell is deterministic in its index and the output vector is
+//! ordered by index (never by completion time), the assembled tables — and
+//! therefore every CSV under `results/` and every per-cell trace — are
+//! byte-identical no matter how many workers ran the sweep. CI enforces this
+//! for `--jobs ∈ {1, 2, 8}` in `crates/bench/tests/runner_determinism.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The process-wide worker count, set once by the `experiments` binary from
+/// `--jobs N` (0 = not yet set, fall back to the machine's parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker count for all subsequent [`sweep`] calls.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The active worker count: the last [`set_jobs`] value, defaulting to
+/// [`std::thread::available_parallelism`].
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        n => n,
+    }
+}
+
+/// Run `cell(0..n_cells)` across the configured worker threads and return
+/// the results ordered by cell index.
+///
+/// With one worker (or one cell) the cells run inline on the caller's
+/// thread — no pool, identical stacks, so `--jobs 1` is *the* sequential
+/// run, not an emulation of it. A panicking cell propagates its panic to
+/// the caller once the scope joins.
+pub fn sweep<T, F>(n_cells: usize, cell: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    sweep_with_jobs(n_cells, jobs(), cell)
+}
+
+/// [`sweep`] with an explicit worker count (tests pin this; experiments use
+/// the global `--jobs` setting).
+pub fn sweep_with_jobs<T, F>(n_cells: usize, jobs: usize, cell: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.max(1).min(n_cells.max(1));
+    if workers <= 1 || n_cells <= 1 {
+        return (0..n_cells).map(cell).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n_cells).map(|_| Mutex::new(None)).collect();
+    let panic = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_cells {
+                        return;
+                    }
+                    let out = cell(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a cell's panic payload reaches the caller
+        // verbatim instead of the scope's generic re-panic.
+        let mut panics: Vec<_> = handles.into_iter().filter_map(|h| h.join().err()).collect();
+        (!panics.is_empty()).then(|| panics.swap_remove(0))
+    });
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped a cell")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_index_not_completion() {
+        // Early cells sleep longest, so completion order inverts index
+        // order; the output must still be index-ordered.
+        for jobs in [1, 2, 8] {
+            let out = sweep_with_jobs(16, jobs, |i| {
+                std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+                i * i
+            });
+            assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        assert_eq!(sweep_with_jobs(3, 64, |i| i), vec![0, 1, 2]);
+        assert_eq!(sweep_with_jobs(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        // Inline execution: the cell observes the caller's thread.
+        let caller = std::thread::current().id();
+        let out = sweep_with_jobs(4, 1, |_| std::thread::current().id());
+        assert!(out.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 2 exploded")]
+    fn worker_panics_propagate() {
+        sweep_with_jobs(4, 2, |i| {
+            if i == 2 {
+                panic!("cell 2 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn jobs_defaults_to_machine_parallelism() {
+        // Not set in this test binary unless another test set it; both
+        // branches of `jobs()` must return something sane.
+        assert!(jobs() >= 1);
+    }
+}

@@ -70,9 +70,8 @@ impl Table {
         out
     }
 
-    /// Write as CSV under `dir/<id>.csv`.
-    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
+    /// The CSV serialization written by [`Table::write_csv`].
+    pub fn csv(&self) -> String {
         let mut s = String::new();
         let esc = |c: &str| {
             if c.contains(',') || c.contains('"') {
@@ -97,7 +96,13 @@ impl Table {
                 row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
             );
         }
-        std::fs::write(dir.join(format!("{}.csv", self.id)), s)
+        s
+    }
+
+    /// Write as CSV under `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.csv())
     }
 }
 

@@ -1,0 +1,61 @@
+//! `--jobs` determinism: the parallel sweep runner must produce tables —
+//! and therefore `results/*.csv` — byte-identical to the sequential run for
+//! any worker count. Cells are deterministic in their index and collected
+//! by index, so this holds by construction; this test enforces it stays
+//! true as experiments evolve.
+//!
+//! Only the cheap experiments run here (the full-suite equivalence,
+//! including the Chrome-trace files of E2/E5/E10, is a release-mode check:
+//! run `experiments --jobs 1` and `--jobs 8` into two directories and
+//! `diff -r` them).
+
+use dpq_bench::{all_experiments, runner, ExpOpts};
+
+/// Experiments cheap enough to run three times each in debug CI. The set
+/// still spans every sweep shape: multi-seed aggregation (e1, e9), plain
+/// per-row cells (e13, e14), paired-cell rows (e15, b1), the two-phase
+/// fault matrix (e16), and the unswept figure tables (f1, f2).
+const SUBSET: &[&str] = &["e1", "e9", "e13", "e14", "e15", "e16", "f1", "f2", "b1"];
+
+#[test]
+fn tables_are_byte_identical_for_any_job_count() {
+    let opts = ExpOpts::default();
+    let exps: Vec<_> = all_experiments()
+        .into_iter()
+        .filter(|(id, _)| SUBSET.contains(id))
+        .collect();
+    assert_eq!(exps.len(), SUBSET.len(), "subset names drifted");
+    for (id, run) in exps {
+        let mut outputs = Vec::new();
+        for jobs in [1usize, 2, 8] {
+            runner::set_jobs(jobs);
+            let t = run(&opts);
+            outputs.push((jobs, t.render(), t.csv()));
+        }
+        runner::set_jobs(1);
+        let (_, seq_render, seq_csv) = &outputs[0];
+        for (jobs, render, csv) in &outputs[1..] {
+            assert_eq!(
+                render, seq_render,
+                "{id}: rendered table diverges at --jobs {jobs}"
+            );
+            assert_eq!(csv, seq_csv, "{id}: CSV diverges at --jobs {jobs}");
+        }
+    }
+}
+
+#[test]
+fn synthetic_sweep_is_order_stable_under_oversubscription() {
+    // 64 cells, more workers than machine cores, wildly uneven cell costs:
+    // output must still be exactly index-ordered.
+    let expect: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    for jobs in [1, 3, 16, 64] {
+        let got = runner::sweep_with_jobs(64, jobs, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            (i as u64).wrapping_mul(0x9e37_79b9)
+        });
+        assert_eq!(got, expect, "jobs = {jobs}");
+    }
+}

@@ -26,8 +26,9 @@
 //! end, crashed nodes recover). A crash-stop with no recovery is expressible
 //! (`recover: None`) for tests that probe safety under permanent loss.
 
+use crate::envelope::Envelope;
 use dpq_core::{DetRng, NodeId};
-use dpq_trace::{DropReason, TraceEvent};
+use dpq_trace::{DropReason, TraceEvent, Tracer};
 
 /// Per-link override of the global drop/duplicate probabilities.
 #[derive(Debug, Clone, PartialEq)]
@@ -506,6 +507,49 @@ impl FaultState {
             }
         }
         SendVerdict { copies, extra }
+    }
+
+    /// Route one outgoing message through the send-time fault pipeline:
+    /// draw the verdict, emit the matching trace events, and hand every
+    /// surviving copy to `enqueue` together with its extra delay. This is
+    /// the one shared implementation of the drop/duplicate/delay branch
+    /// both schedulers execute per message; the event order (a lone
+    /// `FaultDrop`, or enqueue-original → `FaultDuplicate` → enqueue-copy)
+    /// is part of the pinned golden traces — don't reorder it.
+    pub(crate) fn route_send<M: Clone, T: Tracer>(
+        &mut self,
+        now: u64,
+        env: Envelope<M>,
+        tracer: &mut T,
+        mut enqueue: impl FnMut(u64, Envelope<M>),
+    ) {
+        let verdict = self.on_send(env.src, env.dst);
+        if verdict.copies == 0 {
+            if T::ENABLED {
+                tracer.record(TraceEvent::FaultDrop {
+                    round: now,
+                    src: env.src,
+                    dst: env.dst,
+                    kind: env.kind,
+                    bits: env.bits,
+                    reason: DropReason::Chance,
+                });
+            }
+            return;
+        }
+        let dup = (verdict.copies == 2).then(|| env.clone());
+        enqueue(verdict.extra[0], env);
+        if let Some(copy) = dup {
+            if T::ENABLED {
+                tracer.record(TraceEvent::FaultDuplicate {
+                    round: now,
+                    src: copy.src,
+                    dst: copy.dst,
+                    kind: copy.kind,
+                });
+            }
+            enqueue(verdict.extra[1], copy);
+        }
     }
 }
 

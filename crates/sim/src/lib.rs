@@ -21,6 +21,7 @@
 
 pub mod envelope;
 pub mod faults;
+mod flightset;
 pub mod metrics;
 pub mod protocol;
 pub mod reliable;

@@ -24,6 +24,27 @@ pub(crate) enum CtxEvent {
     },
 }
 
+/// Recycled backing storage for a [`Ctx`].
+///
+/// Each scheduler keeps one of these and threads it through every node turn
+/// via [`Ctx::from_bufs`] / [`Ctx::into_bufs`], so the outbox and event
+/// vectors are allocated once per scheduler instead of once per turn —
+/// steady-state stepping touches the allocator only when a turn outgrows
+/// every previous one.
+pub(crate) struct CtxBufs<M> {
+    outbox: Vec<Envelope<M>>,
+    events: Vec<CtxEvent>,
+}
+
+impl<M> Default for CtxBufs<M> {
+    fn default() -> Self {
+        CtxBufs {
+            outbox: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
 /// Execution context for one activation or message delivery.
 ///
 /// Protocol code calls [`Ctx::send`] to emit messages; the scheduler decides
@@ -93,12 +114,42 @@ impl<M: BitSize> Ctx<M> {
         self.events.push(CtxEvent::OpDone { op });
     }
 
-    pub(crate) fn take_outbox(&mut self) -> Vec<Envelope<M>> {
-        std::mem::take(&mut self.outbox)
+    /// A context borrowing its vectors from a scheduler's recycled buffers.
+    pub(crate) fn from_bufs(me: NodeId, now: u64, bufs: &mut CtxBufs<M>) -> Self {
+        debug_assert!(bufs.outbox.is_empty() && bufs.events.is_empty());
+        Ctx {
+            me,
+            now,
+            outbox: std::mem::take(&mut bufs.outbox),
+            events: std::mem::take(&mut bufs.events),
+        }
     }
 
-    pub(crate) fn take_events(&mut self) -> Vec<CtxEvent> {
-        std::mem::take(&mut self.events)
+    /// Return this context's (drained) vectors to the recycled buffers.
+    pub(crate) fn into_bufs(mut self, bufs: &mut CtxBufs<M>) {
+        self.outbox.clear();
+        self.events.clear();
+        bufs.outbox = self.outbox;
+        bufs.events = self.events;
+    }
+
+    /// The buffered sends, in emission order (trace pass).
+    pub(crate) fn outbox(&self) -> &[Envelope<M>] {
+        &self.outbox
+    }
+
+    /// Drain the buffered sends in order, keeping the vector's capacity.
+    pub(crate) fn drain_outbox(&mut self) -> std::vec::Drain<'_, Envelope<M>> {
+        self.outbox.drain(..)
+    }
+
+    /// Drain the telemetry notes in order, keeping the vector's capacity.
+    pub(crate) fn drain_events(&mut self) -> std::vec::Drain<'_, CtxEvent> {
+        self.events.drain(..)
+    }
+
+    pub(crate) fn take_outbox(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.outbox)
     }
 
     /// Move another context's telemetry notes into this one — used by

@@ -13,12 +13,12 @@
 //! round-robin activation sweep is interleaved so runs terminate even when
 //! the coin is unlucky.
 
-use crate::envelope::Envelope;
 use crate::faults::{FaultPlan, FaultState};
+use crate::flightset::FlightSet;
 use crate::metrics::Metrics;
-use crate::protocol::{Ctx, CtxEvent, Protocol};
+use crate::protocol::{Ctx, CtxBufs, CtxEvent, Protocol};
 use dpq_core::{DetRng, NodeId, OpId};
-use dpq_trace::{DropReason, NullTracer, TraceEvent, Tracer};
+use dpq_trace::{NullTracer, TraceEvent, Tracer};
 
 /// Tunables for the asynchronous adversary.
 #[derive(Debug, Clone, Copy)]
@@ -48,13 +48,6 @@ impl Default for AsyncConfig {
     }
 }
 
-/// One in-flight message: the step the fault layer allows it to be
-/// delivered from (its send step unless delay-inflated), and the payload.
-struct Flight<M> {
-    ready: u64,
-    env: Envelope<M>,
-}
-
 /// Randomized asynchronous scheduler.
 ///
 /// Generic over a [`Tracer`] sink like the synchronous scheduler; the time
@@ -68,8 +61,9 @@ struct Flight<M> {
 /// layer may have to duplicate a message.
 pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     nodes: Vec<P>,
-    /// In-flight messages.
-    in_flight: Vec<Flight<P::Msg>>,
+    /// In-flight messages, maturity-indexed when the fault layer (or a
+    /// delay bound) makes readiness non-trivial.
+    in_flight: FlightSet<P::Msg>,
     /// The fault plan being executed (the null plan by default).
     faults: FaultState,
     /// Run metrics (steps, messages, bits, congestion).
@@ -79,6 +73,9 @@ pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     rng: DetRng,
     cfg: AsyncConfig,
     step: u64,
+    /// Recycled Ctx storage: one outbox/event allocation per scheduler,
+    /// not per node turn.
+    bufs: CtxBufs<P::Msg>,
 }
 
 impl<P: Protocol> AsyncScheduler<P>
@@ -119,15 +116,21 @@ where
         tracer: T,
     ) -> Self {
         let n = nodes.len();
+        let faults = FaultState::new(plan, n);
+        // Maturity only needs indexing when ready times can differ from
+        // send steps (an active fault plan) or a delay bound must find
+        // overdue messages; otherwise the set is a plain vector.
+        let in_flight = FlightSet::new(faults.active(), cfg.max_delay);
         AsyncScheduler {
             nodes,
-            in_flight: Vec::new(),
-            faults: FaultState::new(plan, n),
+            in_flight,
+            faults,
             metrics: Metrics::new(n),
             tracer,
             rng: DetRng::new(seed),
             cfg,
             step: 0,
+            bufs: CtxBufs::default(),
         }
     }
 
@@ -193,9 +196,9 @@ where
 
     fn run_node<F: FnOnce(&mut P, &mut Ctx<P::Msg>)>(&mut self, i: usize, f: F) {
         let me = NodeId(i as u64);
-        let mut ctx = Ctx::new(me, self.step);
+        let mut ctx = Ctx::from_bufs(me, self.step, &mut self.bufs);
         f(&mut self.nodes[i], &mut ctx);
-        for ev in ctx.take_events() {
+        for ev in ctx.drain_events() {
             match ev {
                 CtxEvent::Phase { label, value } => {
                     if T::ENABLED {
@@ -220,9 +223,8 @@ where
             }
         }
         let step = self.step;
-        let outbox = ctx.take_outbox();
         if T::ENABLED {
-            for env in &outbox {
+            for env in ctx.outbox() {
                 self.tracer.record(TraceEvent::Send {
                     round: step,
                     src: env.src,
@@ -233,49 +235,24 @@ where
             }
         }
         if !self.faults.active() {
-            self.in_flight
-                .extend(outbox.into_iter().map(|env| Flight { ready: step, env }));
-            return;
-        }
-        for env in outbox {
-            let verdict = self.faults.on_send(env.src, env.dst);
-            if verdict.copies == 0 {
-                if T::ENABLED {
-                    self.tracer.record(TraceEvent::FaultDrop {
-                        round: step,
-                        src: env.src,
-                        dst: env.dst,
-                        kind: env.kind,
-                        bits: env.bits,
-                        reason: DropReason::Chance,
-                    });
-                }
-                continue;
+            for env in ctx.drain_outbox() {
+                self.in_flight.push(step, env);
             }
-            let dup = (verdict.copies == 2).then(|| env.clone());
-            self.in_flight.push(Flight {
-                ready: step + verdict.extra[0],
-                env,
-            });
-            if let Some(copy) = dup {
-                if T::ENABLED {
-                    self.tracer.record(TraceEvent::FaultDuplicate {
-                        round: step,
-                        src: copy.src,
-                        dst: copy.dst,
-                        kind: copy.kind,
-                    });
-                }
-                self.in_flight.push(Flight {
-                    ready: step + verdict.extra[1],
-                    env: copy,
+        } else {
+            let in_flight = &mut self.in_flight;
+            let faults = &mut self.faults;
+            let tracer = &mut self.tracer;
+            for env in ctx.drain_outbox() {
+                faults.route_send(step, env, tracer, |extra, env| {
+                    in_flight.push(step + extra, env);
                 });
             }
         }
+        ctx.into_bufs(&mut self.bufs);
     }
 
     fn deliver_at(&mut self, idx: usize) {
-        let Flight { env, .. } = self.in_flight.swap_remove(idx);
+        let env = self.in_flight.swap_remove(idx);
         if let Some(reason) = self.faults.delivery_fault(env.src, env.dst) {
             self.faults.note_delivery_drop(reason);
             if T::ENABLED {
@@ -323,6 +300,7 @@ where
     /// node) destroys the message.
     pub fn step_once(&mut self) {
         self.step += 1;
+        self.in_flight.advance(self.step);
         if self.faults.active() {
             for tr in self.faults.advance_to(self.step) {
                 if T::ENABLED {
@@ -340,9 +318,8 @@ where
         }
         // Bounded-delay mode: overdue messages deliver before anything else.
         // Fault-layer delay inflation extends the bound (`ready >= sent`).
-        if let Some(bound) = self.cfg.max_delay {
-            let step = self.step;
-            if let Some(idx) = self.in_flight.iter().position(|f| f.ready + bound <= step) {
+        if self.cfg.max_delay.is_some() {
+            if let Some(idx) = self.in_flight.first_overdue() {
                 self.deliver_at(idx);
                 return;
             }
@@ -362,20 +339,16 @@ where
         }
         // Fault-aware path: only mature messages are eligible for the
         // uniform delivery pick, and a crashed node's activation turn is
-        // consumed doing nothing (fail-pause).
-        let step = self.step;
-        let eligible: Vec<usize> = self
-            .in_flight
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.ready <= step)
-            .map(|(i, _)| i)
-            .collect();
-        let deliver = !eligible.is_empty()
-            && (self.rng.chance(self.cfg.deliver_bias) || self.nodes.is_empty());
+        // consumed doing nothing (fail-pause). The k-th-eligible select
+        // reproduces the retired linear scan's `eligible[k]` exactly, so
+        // the adversary's choices — and the pinned golden traces — are
+        // unchanged.
+        let eligible = self.in_flight.eligible_count();
+        let deliver =
+            eligible > 0 && (self.rng.chance(self.cfg.deliver_bias) || self.nodes.is_empty());
         if deliver {
-            let idx = eligible[self.rng.below(eligible.len() as u64) as usize];
-            self.deliver_at(idx);
+            let k = self.rng.below(eligible as u64) as usize;
+            self.deliver_at(self.in_flight.pick_eligible(k));
         } else {
             let i = self.rng.below(self.nodes.len() as u64) as usize;
             if !self.faults.is_down(NodeId(i as u64)) {

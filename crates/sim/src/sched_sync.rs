@@ -9,7 +9,7 @@
 use crate::envelope::Envelope;
 use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::Metrics;
-use crate::protocol::{Ctx, CtxEvent, Protocol};
+use crate::protocol::{Ctx, CtxBufs, CtxEvent, Protocol};
 use dpq_core::{NodeId, OpId};
 use dpq_trace::{DropReason, NullTracer, TraceEvent, Tracer};
 
@@ -70,6 +70,11 @@ pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     /// The event sink.
     pub tracer: T,
     round: u64,
+    /// Recycled Ctx storage: one outbox/event allocation per scheduler,
+    /// not per node turn.
+    bufs: CtxBufs<P::Msg>,
+    /// Recycled scratch for the `future` maturity filter.
+    future_scratch: Vec<(u64, Envelope<P::Msg>)>,
 }
 
 impl<P: Protocol> SyncScheduler<P>
@@ -108,6 +113,8 @@ where
             metrics: Metrics::new(n),
             tracer,
             round: 0,
+            bufs: CtxBufs::default(),
+            future_scratch: Vec::new(),
         }
     }
 
@@ -192,15 +199,6 @@ where
         }
     }
 
-    /// Queue one outgoing copy, honouring any fault-layer extra delay.
-    fn queue_send(&mut self, env: Envelope<P::Msg>, extra: u64) {
-        if extra == 0 {
-            self.next.push(env);
-        } else {
-            self.future.push((self.round + 1 + extra, env));
-        }
-    }
-
     /// Execute one full round: every node first processes all messages that
     /// arrived, then is activated once. Messages emitted during the round
     /// become deliverable in the next one.
@@ -216,30 +214,37 @@ where
                     self.tracer.record(tr.to_event(self.round));
                 }
             }
-            let round = self.round;
-            let mut i = 0;
-            while i < self.future.len() {
-                if self.future[i].0 <= round {
-                    let (_, env) = self.future.remove(i);
-                    self.inboxes[env.dst.index()].push(env);
-                } else {
-                    i += 1;
+            // Release matured delay-inflated messages, preserving both the
+            // release order and the relative order of what stays — one pass
+            // through a recycled scratch vector.
+            if !self.future.is_empty() {
+                let round = self.round;
+                let mut pending =
+                    std::mem::replace(&mut self.future, std::mem::take(&mut self.future_scratch));
+                for (due, env) in pending.drain(..) {
+                    if due <= round {
+                        self.inboxes[env.dst.index()].push(env);
+                    } else {
+                        self.future.push((due, env));
+                    }
                 }
+                self.future_scratch = pending;
             }
         }
         for i in 0..self.nodes.len() {
             let me = NodeId(i as u64);
-            let inbox = std::mem::take(&mut self.inboxes[i]);
+            let mut inbox = std::mem::take(&mut self.inboxes[i]);
             if self.faults.is_down(me) {
                 // Fail-pause: a down node loses its incoming traffic and is
                 // not activated; its protocol state is untouched.
-                for env in inbox {
+                for env in inbox.drain(..) {
                     self.drop_delivery(env, DropReason::Crash);
                 }
+                self.inboxes[i] = inbox;
                 continue;
             }
-            let mut ctx = Ctx::new(me, self.round);
-            for env in inbox {
+            let mut ctx = Ctx::from_bufs(me, self.round, &mut self.bufs);
+            for env in inbox.drain(..) {
                 if let Some(reason) = self.faults.delivery_fault(env.src, env.dst) {
                     self.drop_delivery(env, reason);
                     continue;
@@ -256,6 +261,7 @@ where
                 }
                 self.nodes[i].on_message(env.src, env.msg, &mut ctx);
             }
+            self.inboxes[i] = inbox; // emptied; keeps its capacity for next round
             if T::ENABLED {
                 self.tracer.record(TraceEvent::Activate {
                     round: self.round,
@@ -264,9 +270,8 @@ where
             }
             self.nodes[i].on_activate(&mut ctx);
             self.drain_ctx_events(me, &mut ctx);
-            let outbox = ctx.take_outbox();
             if T::ENABLED {
-                for env in &outbox {
+                for env in ctx.outbox() {
                     self.tracer.record(TraceEvent::Send {
                         round: self.round,
                         src: env.src,
@@ -277,38 +282,25 @@ where
                 }
             }
             if !self.faults.active() {
-                self.next.extend(outbox);
+                self.next.extend(ctx.drain_outbox());
             } else {
-                for env in outbox {
-                    let verdict = self.faults.on_send(env.src, env.dst);
-                    if verdict.copies == 0 {
-                        if T::ENABLED {
-                            self.tracer.record(TraceEvent::FaultDrop {
-                                round: self.round,
-                                src: env.src,
-                                dst: env.dst,
-                                kind: env.kind,
-                                bits: env.bits,
-                                reason: DropReason::Chance,
-                            });
+                let round = self.round;
+                let next = &mut self.next;
+                let future = &mut self.future;
+                let faults = &mut self.faults;
+                let tracer = &mut self.tracer;
+                for env in ctx.drain_outbox() {
+                    // Queue each surviving copy, honouring fault-layer delay.
+                    faults.route_send(round, env, tracer, |extra, env| {
+                        if extra == 0 {
+                            next.push(env);
+                        } else {
+                            future.push((round + 1 + extra, env));
                         }
-                        continue;
-                    }
-                    let dup = (verdict.copies == 2).then(|| env.clone());
-                    self.queue_send(env, verdict.extra[0]);
-                    if let Some(copy) = dup {
-                        if T::ENABLED {
-                            self.tracer.record(TraceEvent::FaultDuplicate {
-                                round: self.round,
-                                src: copy.src,
-                                dst: copy.dst,
-                                kind: copy.kind,
-                            });
-                        }
-                        self.queue_send(copy, verdict.extra[1]);
-                    }
+                    });
                 }
             }
+            ctx.into_bufs(&mut self.bufs);
         }
         for env in self.next.drain(..) {
             self.inboxes[env.dst.index()].push(env);
@@ -328,7 +320,7 @@ where
 
     /// Flush a node turn's telemetry notes into the metrics and tracer.
     fn drain_ctx_events(&mut self, me: NodeId, ctx: &mut Ctx<P::Msg>) {
-        for ev in ctx.take_events() {
+        for ev in ctx.drain_events() {
             match ev {
                 CtxEvent::Phase { label, value } => {
                     if T::ENABLED {

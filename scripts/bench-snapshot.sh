@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Record a performance snapshot into BENCH_pr3.json.
+#
+# Captures the two numbers PR 3 is about:
+#   * scheduler stepping throughput (the `perf` probe's four headline
+#     metrics, written as `after_*`), and
+#   * experiment-suite wall-clock, sequential vs parallel (`--jobs 1` vs
+#     `--jobs <nproc>`).
+#
+# The `before_*` keys are the same probe measured at the pre-PR-3 tree
+# (commit 917a412, linear-scan eligible selection) on the same class of
+# machine; they are baked in here so the speedup a fresh snapshot reports
+# is always against the code this PR replaced. `scripts/check.sh perf`
+# re-measures and compares against the committed `after_*` values.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+OUT=${1:-BENCH_pr3.json}
+JOBS=$(nproc 2>/dev/null || echo 1)
+
+# Pre-PR-3 throughput (linear-scan AsyncScheduler, clone-per-send fault
+# path, per-round inbox reallocation), measured with this same probe.
+BEFORE_ASYNC_CLEAN=23626200
+BEFORE_ASYNC_FAULTY=69524
+BEFORE_SYNC_CLEAN=73164
+BEFORE_SYNC_FAULTY=62731
+
+cargo build --workspace --release -q
+
+echo "measuring scheduler throughput..." >&2
+METRICS=$(./target/release/perf)
+
+wallclock() { # wallclock <jobs> -> seconds (float)
+  local tmp t0 t1
+  tmp=$(mktemp -d)
+  t0=$(date +%s.%N)
+  (cd "$tmp" && "$ROOT/target/release/experiments" --jobs "$1" >/dev/null)
+  t1=$(date +%s.%N)
+  rm -rf "$tmp"
+  awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b - a}'
+}
+
+echo "timing experiment suite at --jobs 1..." >&2
+SUITE_SEQ=$(wallclock 1)
+echo "timing experiment suite at --jobs $JOBS..." >&2
+SUITE_PAR=$(wallclock "$JOBS")
+
+# Merge: strip the probe's braces and splice in the before_* keys and
+# suite timings (flat JSON, no parser dependency anywhere).
+{
+  echo "{"
+  echo "  \"before_async_clean_steps_per_sec\": $BEFORE_ASYNC_CLEAN,"
+  echo "  \"before_async_faulty_steps_per_sec\": $BEFORE_ASYNC_FAULTY,"
+  echo "  \"before_sync_clean_rounds_per_sec\": $BEFORE_SYNC_CLEAN,"
+  echo "  \"before_sync_faulty_rounds_per_sec\": $BEFORE_SYNC_FAULTY,"
+  echo "$METRICS" | sed -e '1d' -e '$d' | sed -e '$s/$/,/'
+  echo "  \"suite_jobs\": $JOBS,"
+  echo "  \"suite_seq_secs\": $SUITE_SEQ,"
+  echo "  \"suite_par_secs\": $SUITE_PAR"
+  echo "}"
+} > "$OUT"
+
+echo "wrote $OUT:" >&2
+cat "$OUT"

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Repo-wide quality gate. Run before pushing; CI runs the same four steps.
+# Repo-wide quality gate. Run before pushing; CI runs the same steps.
+#
+#   ./scripts/check.sh        # fmt + clippy + build + tests + fault smoke
+#   ./scripts/check.sh perf   # the above, plus the performance tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+TIER=${1:-}
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
@@ -13,3 +18,13 @@ cargo test --workspace -q
 # end to end in release mode (the full conformance grid runs in the test
 # step above, via tests/faults.rs).
 cargo run -q -p dpq-bench --release --bin experiments -- e16 --faults scripts/faults-smoke.toml
+
+# Perf tier (opt-in: `./scripts/check.sh perf`): criterion smoke benches,
+# then re-measure scheduler stepping throughput and fail if any headline
+# metric fell more than 20% below the committed BENCH_pr3.json snapshot.
+# Refresh the snapshot with scripts/bench-snapshot.sh when a deliberate
+# perf change moves the baseline.
+if [ "$TIER" = "perf" ]; then
+  cargo bench -q -p dpq-bench --bench sched_step
+  cargo run -q -p dpq-bench --release --bin perf -- --check BENCH_pr3.json
+fi
