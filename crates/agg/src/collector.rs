@@ -68,6 +68,13 @@ impl<T> Collector<T> {
     }
 }
 
+impl<T: dpq_core::StateHash> dpq_core::StateHash for Collector<T> {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        self.expected.state_hash(h);
+        self.got.state_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -190,6 +190,19 @@ impl BitSize for Segments {
     }
 }
 
+impl dpq_core::StateHash for Interval {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        h.write_u64(self.lo);
+        h.write_u64(self.hi);
+    }
+}
+
+impl dpq_core::StateHash for Segments {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        self.parts.state_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

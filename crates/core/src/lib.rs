@@ -20,6 +20,7 @@ pub mod ids;
 pub mod ops;
 pub mod priority;
 pub mod rng;
+pub mod statehash;
 pub mod workload;
 
 pub use bitsize::{vlq_bits, vlq_bits_i64, BitSize, MsgKind};
@@ -30,3 +31,4 @@ pub use ids::{ElemId, NodeId};
 pub use ops::{MatchSet, OpId, OpKind, OpRecord, OpReturn};
 pub use priority::{Key, Priority};
 pub use rng::DetRng;
+pub use statehash::{state_digest, StateHash, StateHasher};

@@ -78,6 +78,12 @@ impl DetRng {
     }
 }
 
+impl crate::statehash::StateHash for DetRng {
+    fn state_hash(&self, h: &mut crate::statehash::StateHasher) {
+        h.write_u64(self.state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

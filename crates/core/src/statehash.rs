@@ -1,0 +1,390 @@
+//! Structural state fingerprinting for schedule-space model checking.
+//!
+//! `dpq-mc` prunes its DFS on "have I seen this global state before?". That
+//! needs a hash over *semantic* protocol state: deterministic across runs
+//! (unlike `std::hash::Hash` with `RandomState`), insensitive to iteration
+//! order of unordered containers, and explicit about what is state (anything
+//! that can influence future behavior) versus telemetry (counters that
+//! cannot). Each crate implements [`StateHash`] next to its private types;
+//! this module supplies the trait, the FNV-1a [`StateHasher`], and impls for
+//! primitives, std containers, and the core vocabulary types.
+//!
+//! Soundness rule: *under*-discriminating (two genuinely different states
+//! hashing alike beyond raw 64-bit collisions) can make the checker skip
+//! reachable behaviors, so every field that feeds a future decision must be
+//! written. *Over*-discriminating merely weakens pruning — when in doubt,
+//! include the field.
+
+use crate::element::Element;
+use crate::history::{History, NodeHistory};
+use crate::ids::{ElemId, NodeId};
+use crate::ops::{OpId, OpKind, OpRecord, OpReturn};
+use crate::priority::{Key, Priority};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// 64-bit FNV-1a accumulator with multiset support.
+///
+/// FNV-1a is not cryptographic — fine here: a fingerprint collision makes
+/// the model checker prune one state it should have explored, an accepted
+/// 2⁻⁶⁴-per-pair risk, and never produces a false *alarm*.
+#[derive(Debug, Clone)]
+pub struct StateHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StateHasher {
+    /// Fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        StateHasher { state: FNV_OFFSET }
+    }
+
+    /// Mix one machine word, byte by byte.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        let mut s = self.state;
+        for b in v.to_le_bytes() {
+            s ^= b as u64;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Mix a string (length-prefixed so `"ab","c"` ≠ `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        let mut st = self.state;
+        for b in s.as_bytes() {
+            st ^= *b as u64;
+            st = st.wrapping_mul(FNV_PRIME);
+        }
+        self.state = st;
+    }
+
+    /// Mix an order-*insensitive* collection: each item is hashed into a
+    /// fresh sub-hasher and the sub-digests are combined commutatively
+    /// (wrapping sum), then sealed with the count. Use for `HashMap` /
+    /// `HashSet` whose iteration order is unspecified.
+    pub fn write_unordered<T>(
+        &mut self,
+        items: impl Iterator<Item = T>,
+        f: impl Fn(&mut StateHasher, T),
+    ) {
+        let mut acc = 0u64;
+        let mut count = 0u64;
+        for item in items {
+            let mut sub = StateHasher::new();
+            f(&mut sub, item);
+            acc = acc.wrapping_add(sub.finish());
+            count += 1;
+        }
+        self.write_u64(count);
+        self.write_u64(acc);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        StateHasher::new()
+    }
+}
+
+/// Deterministic, structure-sensitive state digest.
+pub trait StateHash {
+    /// Feed this value's semantic state into `h`.
+    fn state_hash(&self, h: &mut StateHasher);
+}
+
+/// Digest a single value from scratch.
+pub fn state_digest<T: StateHash + ?Sized>(v: &T) -> u64 {
+    let mut h = StateHasher::new();
+    v.state_hash(&mut h);
+    h.finish()
+}
+
+macro_rules! hash_as_u64 {
+    ($($t:ty),*) => {$(
+        impl StateHash for $t {
+            fn state_hash(&self, h: &mut StateHasher) {
+                h.write_u64(*self as u64);
+            }
+        }
+    )*}
+}
+
+hash_as_u64!(u8, u16, u32, u64, usize, bool);
+
+impl StateHash for () {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(0);
+    }
+}
+
+impl StateHash for i64 {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl StateHash for f64 {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.to_bits());
+    }
+}
+
+impl StateHash for str {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StateHash for String {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StateHash> StateHash for Option<T> {
+    fn state_hash(&self, h: &mut StateHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.state_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StateHash> StateHash for [T] {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.state_hash(h);
+        }
+    }
+}
+
+impl<T: StateHash> StateHash for Vec<T> {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.as_slice().state_hash(h);
+    }
+}
+
+impl<T: StateHash> StateHash for VecDeque<T> {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.state_hash(h);
+        }
+    }
+}
+
+// BTree containers iterate in key order — deterministic, so hash in order.
+impl<K: StateHash, V: StateHash> StateHash for BTreeMap<K, V> {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.len() as u64);
+        for (k, v) in self {
+            k.state_hash(h);
+            v.state_hash(h);
+        }
+    }
+}
+
+impl<T: StateHash> StateHash for BTreeSet<T> {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.state_hash(h);
+        }
+    }
+}
+
+impl<A: StateHash, B: StateHash> StateHash for (A, B) {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.0.state_hash(h);
+        self.1.state_hash(h);
+    }
+}
+
+impl<A: StateHash, B: StateHash, C: StateHash> StateHash for (A, B, C) {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.0.state_hash(h);
+        self.1.state_hash(h);
+        self.2.state_hash(h);
+    }
+}
+
+impl<T: StateHash + ?Sized> StateHash for &T {
+    fn state_hash(&self, h: &mut StateHasher) {
+        (**self).state_hash(h);
+    }
+}
+
+impl StateHash for NodeId {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.0);
+    }
+}
+
+impl StateHash for ElemId {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.0);
+    }
+}
+
+impl StateHash for Priority {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.0);
+    }
+}
+
+impl StateHash for Key {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.prio.state_hash(h);
+        self.elem.state_hash(h);
+    }
+}
+
+impl StateHash for Element {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.id.state_hash(h);
+        self.prio.state_hash(h);
+        h.write_u64(self.payload);
+    }
+}
+
+impl StateHash for OpId {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.node.state_hash(h);
+        h.write_u64(self.seq);
+    }
+}
+
+impl StateHash for OpKind {
+    fn state_hash(&self, h: &mut StateHasher) {
+        match self {
+            OpKind::Insert(e) => {
+                h.write_u64(1);
+                e.state_hash(h);
+            }
+            OpKind::DeleteMin => h.write_u64(2),
+        }
+    }
+}
+
+impl StateHash for OpReturn {
+    fn state_hash(&self, h: &mut StateHasher) {
+        match self {
+            OpReturn::Inserted => h.write_u64(1),
+            OpReturn::Removed(e) => {
+                h.write_u64(2);
+                e.state_hash(h);
+            }
+            OpReturn::Bottom => h.write_u64(3),
+        }
+    }
+}
+
+impl StateHash for OpRecord {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.id.state_hash(h);
+        self.kind.state_hash(h);
+        self.ret.state_hash(h);
+        self.witness.state_hash(h);
+    }
+}
+
+impl StateHash for NodeHistory {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.ops.state_hash(h);
+    }
+}
+
+impl StateHash for History {
+    fn state_hash(&self, h: &mut StateHasher) {
+        self.nodes.state_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn digests_are_deterministic_and_structure_sensitive() {
+        assert_eq!(state_digest(&42u64), state_digest(&42u64));
+        assert_ne!(state_digest(&42u64), state_digest(&43u64));
+        // Length prefixes keep concatenations apart.
+        let a: (Vec<u64>, Vec<u64>) = (vec![1, 2], vec![3]);
+        let b: (Vec<u64>, Vec<u64>) = (vec![1], vec![2, 3]);
+        assert_ne!(state_digest(&a), state_digest(&b));
+        assert_ne!(state_digest("ab"), state_digest("ba"));
+    }
+
+    #[test]
+    fn unordered_combine_ignores_iteration_order() {
+        let digest = |pairs: &[(u64, u64)]| {
+            let mut h = StateHasher::new();
+            h.write_unordered(pairs.iter(), |h, (k, v)| {
+                h.write_u64(*k);
+                h.write_u64(*v);
+            });
+            h.finish()
+        };
+        let fwd = [(1, 10), (2, 20), (3, 30)];
+        let rev = [(3, 30), (2, 20), (1, 10)];
+        assert_eq!(digest(&fwd), digest(&rev));
+        assert_ne!(digest(&fwd), digest(&fwd[..2]));
+        // Swapping which key owns which value must change the digest.
+        let swapped = [(1, 20), (2, 10), (3, 30)];
+        assert_ne!(digest(&fwd), digest(&swapped));
+    }
+
+    #[test]
+    fn hashmap_digest_is_stable_across_rebuild_orders() {
+        let mut m1 = HashMap::new();
+        let mut m2 = HashMap::new();
+        for i in 0..100u64 {
+            m1.insert(i, i * 7);
+        }
+        for i in (0..100u64).rev() {
+            m2.insert(i, i * 7);
+        }
+        let digest = |m: &HashMap<u64, u64>| {
+            let mut h = StateHasher::new();
+            h.write_unordered(m.iter(), |h, (k, v)| {
+                h.write_u64(*k);
+                h.write_u64(*v);
+            });
+            h.finish()
+        };
+        assert_eq!(digest(&m1), digest(&m2));
+    }
+
+    #[test]
+    fn option_and_enum_tags_disambiguate() {
+        assert_ne!(state_digest(&None::<u64>), state_digest(&Some(0u64)));
+        assert_ne!(
+            state_digest(&OpReturn::Inserted),
+            state_digest(&OpReturn::Bottom)
+        );
+        let e = Element {
+            id: ElemId(5),
+            prio: Priority(9),
+            payload: 0,
+        };
+        assert_ne!(
+            state_digest(&OpKind::Insert(e)),
+            state_digest(&OpKind::DeleteMin)
+        );
+    }
+}

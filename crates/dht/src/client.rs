@@ -96,6 +96,20 @@ pub enum Completion {
     },
 }
 
+impl dpq_core::StateHash for DhtClient {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        h.write_u64(self.next_id);
+        h.write_unordered(self.puts.iter(), |h, (k, v)| {
+            h.write_u64(*k);
+            h.write_u64(*v);
+        });
+        h.write_unordered(self.gets.iter(), |h, (k, v)| {
+            h.write_u64(*k);
+            h.write_u64(*v);
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

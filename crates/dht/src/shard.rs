@@ -135,6 +135,21 @@ impl DhtShard {
     }
 }
 
+impl dpq_core::StateHash for DhtShard {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        // HashMaps are hashed as multisets of (key, ordered queue) entries
+        // so rebuild order never perturbs the digest.
+        h.write_unordered(self.store.iter(), |h, (k, q)| {
+            h.write_u64(*k);
+            q.state_hash(h);
+        });
+        h.write_unordered(self.parked.iter(), |h, (k, q)| {
+            h.write_u64(*k);
+            q.state_hash(h);
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

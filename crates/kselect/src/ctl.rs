@@ -272,3 +272,43 @@ impl AnchorCtl {
         self.phase == Phase::Done
     }
 }
+
+impl dpq_core::StateHash for KSelectConfig {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        self.sample_coeff.state_hash(h);
+        self.delta_coeff.state_hash(h);
+        self.p3_threshold_coeff.state_hash(h);
+        h.write_u64(self.max_p2_iters as u64);
+        h.write_u64(self.announce as u64);
+    }
+}
+
+impl dpq_core::StateHash for AnchorCtl {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        // `stats` is mostly telemetry, but `p2_iterations` gates the forced
+        // drop into Phase 3 (`after_p2_or_p1`), so it is real state.
+        self.cfg.state_hash(h);
+        h.write_u64(self.n);
+        h.write_u64(self.n_remaining);
+        h.write_u64(self.k);
+        h.write_u64(match self.phase {
+            Phase::P1Bounds => 0,
+            Phase::P1Prune => 1,
+            Phase::P2Sample => 2,
+            Phase::P2Sort => 3,
+            Phase::P2Window => 4,
+            Phase::P3Sample => 5,
+            Phase::P3Sort => 6,
+            Phase::Done => 7,
+        });
+        h.write_u64(self.p1_iters_left as u64);
+        h.write_u64(self.epoch);
+        h.write_u64(self.n_prime);
+        self.cl.state_hash(h);
+        self.cr.state_hash(h);
+        self.pending_prune.state_hash(h);
+        h.write_u64(self.no_progress_streak as u64);
+        h.write_u64(self.stats.p2_iterations as u64);
+        self.result.state_hash(h);
+    }
+}

@@ -349,6 +349,32 @@ impl BitSize for KMsg {
     }
 }
 
+impl dpq_core::StateHash for Rsp {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        match self {
+            Rsp::MinMax { pmin, pmax } => {
+                h.write_u64(1);
+                pmin.state_hash(h);
+                pmax.state_hash(h);
+            }
+            Rsp::Counts { below, above } => {
+                h.write_u64(2);
+                h.write_u64(*below);
+                h.write_u64(*above);
+            }
+            Rsp::SampleCount { count } => {
+                h.write_u64(3);
+                h.write_u64(*count);
+            }
+            Rsp::Hits { lo, hi } => {
+                h.write_u64(4);
+                lo.state_hash(h);
+                hi.state_hash(h);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -726,3 +726,65 @@ impl Protocol for KSelectNode {
         self.roles_drained()
     }
 }
+
+impl dpq_core::StateHash for CopyState {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        self.parent.state_hash(h);
+        h.write_u64(self.parent_copy);
+        h.write_u64(self.expected_children as u64);
+        h.write_u64(self.got_children as u64);
+        self.own.state_hash(h);
+        h.write_u64(self.acc_smaller);
+        h.write_u64(self.acc_larger);
+    }
+}
+
+impl dpq_core::StateHash for PendingCompare {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        h.write_u64(self.cand);
+        h.write_u64(self.copy);
+        self.key.state_hash(h);
+        self.back.state_hash(h);
+    }
+}
+
+impl dpq_core::StateHash for KSelectNode {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        // `view` is static per scenario; the RNG is real state (it drives
+        // sampling), as is everything below. Unordered maps are hashed as
+        // multisets so rebuild order never matters.
+        self.rng.state_hash(h);
+        self.cands.state_hash(h);
+        self.collector.state_hash(h);
+        self.own_rsp.state_hash(h);
+        self.child_samples.state_hash(h);
+        h.write_u64(self.epoch);
+        h.write_u64(self.lo_hi.0);
+        h.write_u64(self.lo_hi.1);
+        self.own_samples.state_hash(h);
+        h.write_u64(self.pending_orders as u64);
+        h.write_u64(self.awaiting_hits as u64);
+        self.hit_lo.state_hash(h);
+        self.hit_hi.state_hash(h);
+        h.write_unordered(self.copies.iter(), |h, (k, v)| {
+            k.state_hash(h);
+            v.state_hash(h);
+        });
+        h.write_unordered(self.rendezvous.iter(), |h, (k, v)| {
+            k.state_hash(h);
+            v.state_hash(h);
+        });
+        h.write_unordered(self.placed.iter(), |h, (k, v)| {
+            k.state_hash(h);
+            v.state_hash(h);
+        });
+        h.write_unordered(self.tree_memberships.iter(), |h, (k, set)| {
+            h.write_u64(*k);
+            h.write_unordered(set.iter(), |h, m| h.write_u64(*m));
+        });
+        self.ctl.state_hash(h);
+        self.pending_start.state_hash(h);
+        h.write_u64(self.announce as u64);
+        self.result.state_hash(h);
+    }
+}

@@ -1,0 +1,296 @@
+//! CLI for the bounded schedule-space model checker.
+//!
+//! Subcommands:
+//! - `list` — print the scenario registry.
+//! - `explore --scenario <name|all> [budget flags] [--out FILE]` —
+//!   systematically explore; on failure, shrink and write `schedule.json`.
+//! - `replay --schedule FILE` — re-execute a saved schedule bit-for-bit.
+//! - `smoke [--max-shrunk N]` — mutation smoke test: expect a violation
+//!   (build with `RUSTFLAGS="--cfg mc_mutate"`), shrink it, round-trip it
+//!   through `schedule.json`, and require the shrunk schedule to stay
+//!   within N decisions.
+
+use dpq_mc::{by_name, explore, shrink, Budget, Scenario, Schedule, Tail};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dpq-mc <list | explore | replay | smoke> [options]\n\
+         \n\
+         explore --scenario <name|all> [--max-depth N] [--max-branch N]\n\
+         \x20        [--runs N] [--walks N] [--walk-seed N] [--out FILE]\n\
+         \x20        [--min-distinct N]\n\
+         replay  --schedule FILE\n\
+         smoke   [--max-shrunk N] [--out FILE] [budget flags as for explore]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    scenario: String,
+    budget: Budget,
+    out: Option<String>,
+    schedule: Option<String>,
+    max_shrunk: usize,
+    min_distinct: usize,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        scenario: "all".to_string(),
+        budget: Budget::default(),
+        out: None,
+        schedule: None,
+        max_shrunk: 15,
+        min_distinct: 0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => opts.scenario = value("--scenario")?.clone(),
+            "--out" => opts.out = Some(value("--out")?.clone()),
+            "--schedule" => opts.schedule = Some(value("--schedule")?.clone()),
+            "--max-depth" => opts.budget.max_depth = parse(value("--max-depth")?)?,
+            "--max-branch" => opts.budget.max_branch = parse(value("--max-branch")?)?,
+            "--runs" => opts.budget.max_runs = parse(value("--runs")?)?,
+            "--walks" => opts.budget.walks = parse(value("--walks")?)?,
+            "--walk-seed" => opts.budget.walk_seed = parse(value("--walk-seed")?)?,
+            "--max-shrunk" => opts.max_shrunk = parse(value("--max-shrunk")?)?,
+            "--min-distinct" => opts.min_distinct = parse(value("--min-distinct")?)?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
+}
+
+fn selected(name: &str) -> Result<Vec<Box<dyn Scenario>>, String> {
+    if name == "all" {
+        return Ok(dpq_mc::all_scenarios());
+    }
+    by_name(name)
+        .map(|s| vec![s])
+        .ok_or_else(|| format!("unknown scenario {name:?} (try `dpq-mc list`)"))
+}
+
+/// Explore one scenario; on failure shrink, serialize, verify the replay,
+/// and return the failing schedule.
+fn check_one(scenario: &dyn Scenario, budget: &Budget) -> Result<dpq_mc::ExploreStats, Schedule> {
+    let outcome = explore(scenario, budget);
+    let stats = outcome.stats;
+    match outcome.counterexample {
+        None => {
+            println!(
+                "  {:14} OK: {} runs, {} distinct schedules, {} expanded, {} pruned, depth {}",
+                scenario.name(),
+                stats.runs,
+                stats.distinct_schedules,
+                stats.expanded,
+                stats.pruned,
+                stats.deepest
+            );
+            Ok(stats)
+        }
+        Some(ce) => {
+            println!(
+                "  {:14} VIOLATION after {} runs: {}",
+                scenario.name(),
+                stats.runs,
+                ce.violation
+            );
+            println!(
+                "    schedule ({} decisions), shrinking...",
+                ce.decisions.len()
+            );
+            let minimal = shrink(scenario, &ce.decisions);
+            let report = scenario.run(&minimal, Tail::Deterministic, false, scenario.max_steps());
+            let violation = report
+                .violation
+                .clone()
+                .unwrap_or_else(|| ce.violation.clone());
+            println!("    shrunk to {} decisions: {:?}", minimal.len(), minimal);
+            Err(Schedule {
+                scenario: scenario.name().to_string(),
+                decisions: minimal,
+                violation,
+                original_len: ce.decisions.len(),
+            })
+        }
+    }
+}
+
+fn write_schedule(sched: &Schedule, out: &Option<String>) {
+    let path = out.as_deref().unwrap_or("schedule.json");
+    match std::fs::write(path, sched.to_json()) {
+        Ok(()) => println!("    wrote {path}"),
+        Err(e) => eprintln!("    failed to write {path}: {e}"),
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    for s in dpq_mc::all_scenarios() {
+        println!("{:14} {}", s.name(), s.describe());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_explore(opts: &Opts) -> Result<ExitCode, String> {
+    let scenarios = selected(&opts.scenario)?;
+    println!(
+        "exploring {} scenario(s): depth<={} branch<={} runs<={} walks={}",
+        scenarios.len(),
+        opts.budget.max_depth,
+        opts.budget.max_branch,
+        opts.budget.max_runs,
+        opts.budget.walks
+    );
+    let mut failed = false;
+    for s in &scenarios {
+        match check_one(s.as_ref(), &opts.budget) {
+            Ok(stats) => {
+                if stats.distinct_schedules < opts.min_distinct {
+                    eprintln!(
+                        "dpq-mc: {}: only {} distinct schedules explored, --min-distinct is {}",
+                        s.name(),
+                        stats.distinct_schedules,
+                        opts.min_distinct
+                    );
+                    failed = true;
+                }
+            }
+            Err(sched) => {
+                write_schedule(&sched, &opts.out);
+                failed = true;
+            }
+        }
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
+    let path = opts
+        .schedule
+        .as_deref()
+        .ok_or("replay needs --schedule FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let sched = Schedule::from_json(&text)?;
+    let scenario =
+        by_name(&sched.scenario).ok_or_else(|| format!("unknown scenario {:?}", sched.scenario))?;
+    let report = scenario.run(
+        &sched.decisions,
+        Tail::Deterministic,
+        false,
+        scenario.max_steps(),
+    );
+    println!(
+        "replayed {:?} on {}: {} decisions, {} steps",
+        path,
+        sched.scenario,
+        report.decisions.len(),
+        report.steps
+    );
+    match (&report.violation, report.failed()) {
+        (Some(v), _) => {
+            println!("reproduced violation: {v}");
+            Ok(ExitCode::FAILURE)
+        }
+        (None, true) => {
+            println!(
+                "reproduced stall (no quiescence within {} steps)",
+                report.steps
+            );
+            Ok(ExitCode::FAILURE)
+        }
+        (None, false) => {
+            println!("run was clean — schedule does not reproduce a failure");
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+/// The mutation smoke test: under `--cfg mc_mutate` the Skeap witness
+/// update is sabotaged; the checker must find it, shrink it to at most
+/// `--max-shrunk` decisions, and the serialized schedule must replay to a
+/// failure bit-for-bit.
+fn cmd_smoke(opts: &Opts) -> Result<ExitCode, String> {
+    if !cfg!(mc_mutate) {
+        return Err(
+            "smoke requires a mutated build: RUSTFLAGS=\"--cfg mc_mutate\" (use a separate \
+             CARGO_TARGET_DIR to keep caches intact)"
+                .to_string(),
+        );
+    }
+    let scenarios = selected(&opts.scenario)?;
+    for s in &scenarios {
+        match check_one(s.as_ref(), &opts.budget) {
+            Ok(_) => continue,
+            Err(sched) => {
+                write_schedule(&sched, &opts.out);
+                if sched.decisions.len() > opts.max_shrunk {
+                    return Err(format!(
+                        "shrunk schedule has {} decisions, budget is {}",
+                        sched.decisions.len(),
+                        opts.max_shrunk
+                    ));
+                }
+                // Round-trip through JSON and replay bit-for-bit.
+                let parsed = Schedule::from_json(&sched.to_json())?;
+                if parsed != sched {
+                    return Err("schedule.json did not round-trip".to_string());
+                }
+                let replayed = s.run(&parsed.decisions, Tail::Deterministic, false, s.max_steps());
+                if !replayed.failed() {
+                    return Err("shrunk schedule did not reproduce the failure".to_string());
+                }
+                println!(
+                    "smoke OK: mutation caught on {}, shrunk to {} decisions, replay reproduces",
+                    sched.scenario,
+                    sched.decisions.len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+    }
+    Err("mutated build explored every scenario without finding the seeded bug".to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dpq-mc: {e}");
+            return usage();
+        }
+    };
+    let run = match cmd.as_str() {
+        "list" => return cmd_list(),
+        "explore" => cmd_explore(&opts),
+        "replay" => cmd_replay(&opts),
+        "smoke" => cmd_smoke(&opts),
+        _ => return usage(),
+    };
+    match run {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dpq-mc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Bounded DFS over delivery schedules, with fingerprint pruning and a
+//! random-walk fallback.
+//!
+//! The checker is *stateless*: it never snapshots protocol state. A DFS
+//! node is a decision prefix; visiting it re-executes the scenario from
+//! scratch under a [`ScriptPolicy`] and stops at the first fresh choice
+//! point, where the state fingerprint and branching factor are read off.
+//! Children extend the prefix by one decision. Re-execution makes every
+//! explored path trivially replayable — the property the shrinker and
+//! `schedule.json` rely on — at the price of O(depth) redundant stepping
+//! per node, which small-N scenarios can afford.
+//!
+//! Pruning: a fingerprint seen before with at least as much remaining
+//! depth cannot lead anywhere new, so the subtree is skipped. Fingerprints
+//! over-approximate state identity (see `drive::fingerprint`), never
+//! under-approximate it, so pruning only ever skips genuinely revisited
+//! states (modulo 64-bit hash collisions).
+
+use crate::drive::{RunEnd, RunReport};
+use crate::policy::Tail;
+use crate::scenario::Scenario;
+use std::collections::{HashMap, HashSet};
+
+/// Exploration budgets. Defaults suit `cargo test`; the CLI raises them.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum scripted decisions per schedule (DFS depth bound).
+    pub max_depth: usize,
+    /// Maximum children expanded per choice point (branch bound).
+    pub max_branch: usize,
+    /// Maximum scenario executions the DFS may spend.
+    pub max_runs: usize,
+    /// Random-walk fallback executions after the DFS budget.
+    pub walks: usize,
+    /// Seed for the walk tails.
+    pub walk_seed: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_depth: 12,
+            max_branch: 4,
+            max_runs: 2_000,
+            walks: 200,
+            walk_seed: 0x5EED,
+        }
+    }
+}
+
+/// A failing schedule: the decision sequence and what it violated.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Decisions reproducing the failure (replay with a deterministic
+    /// tail).
+    pub decisions: Vec<usize>,
+    /// The oracle's description, or a stall marker for liveness failures.
+    pub violation: String,
+    /// Whether the failure was a stall (liveness) rather than a safety
+    /// violation.
+    pub stalled: bool,
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Scenario executions performed (DFS probes + completions + walks).
+    pub runs: usize,
+    /// Distinct complete schedules (by decision-log digest) that reached a
+    /// terminal state and were judged.
+    pub distinct_schedules: usize,
+    /// Interior DFS nodes expanded.
+    pub expanded: usize,
+    /// Subtrees skipped by fingerprint pruning.
+    pub pruned: usize,
+    /// Longest decision prefix reached.
+    pub deepest: usize,
+}
+
+/// Outcome of [`explore`]: either a counterexample or clean statistics.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// The first failing schedule found, if any.
+    pub counterexample: Option<Counterexample>,
+    /// Exploration statistics (up to the point of failure).
+    pub stats: ExploreStats,
+}
+
+fn digest(decisions: &[usize]) -> u64 {
+    let mut h = dpq_core::StateHasher::new();
+    h.write_u64(decisions.len() as u64);
+    for &d in decisions {
+        h.write_u64(d as u64);
+    }
+    h.finish()
+}
+
+fn fail_of(report: &RunReport) -> Option<Counterexample> {
+    if let Some(v) = &report.violation {
+        return Some(Counterexample {
+            decisions: report.decisions.clone(),
+            violation: v.clone(),
+            stalled: false,
+        });
+    }
+    if report.end == RunEnd::Stalled {
+        return Some(Counterexample {
+            decisions: report.decisions.clone(),
+            violation: format!("liveness: no quiescence within {} steps", report.steps),
+            stalled: true,
+        });
+    }
+    None
+}
+
+/// Systematically explore the scenario's schedule space.
+///
+/// DFS over decision prefixes up to the depth/branch bounds, pruning
+/// revisited fingerprints; every leaf is completed with the deterministic
+/// tail and judged. If the DFS budget is spent (or the bounded tree is
+/// exhausted), `budget.walks` seeded random walks sample schedules beyond
+/// the bounds. Stops at the first failure.
+pub fn explore(scenario: &dyn Scenario, budget: &Budget) -> ExploreOutcome {
+    let mut stats = ExploreStats::default();
+    let mut seen_schedules: HashSet<u64> = HashSet::new();
+    let max_steps = scenario.max_steps();
+    // fingerprint → most remaining depth it was visited with.
+    let mut visited: HashMap<u64, usize> = HashMap::new();
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+
+    while let Some(prefix) = stack.pop() {
+        if stats.runs >= budget.max_runs {
+            break;
+        }
+        stats.deepest = stats.deepest.max(prefix.len());
+        if prefix.len() >= budget.max_depth {
+            // Leaf: complete deterministically and judge the terminal.
+            let report = scenario.run(&prefix, Tail::Deterministic, false, max_steps);
+            stats.runs += 1;
+            if let Some(ce) = fail_of(&report) {
+                return ExploreOutcome {
+                    counterexample: Some(ce),
+                    stats,
+                };
+            }
+            if seen_schedules.insert(digest(&report.decisions)) {
+                stats.distinct_schedules += 1;
+            }
+            continue;
+        }
+        let report = scenario.run(&prefix, Tail::Deterministic, true, max_steps);
+        stats.runs += 1;
+        match report.end {
+            RunEnd::Terminal => {
+                if let Some(ce) = fail_of(&report) {
+                    return ExploreOutcome {
+                        counterexample: Some(ce),
+                        stats,
+                    };
+                }
+                if seen_schedules.insert(digest(&report.decisions)) {
+                    stats.distinct_schedules += 1;
+                }
+            }
+            RunEnd::Stalled => {
+                return ExploreOutcome {
+                    counterexample: fail_of(&report),
+                    stats,
+                };
+            }
+            RunEnd::Frontier {
+                branching,
+                fingerprint,
+            } => {
+                let remaining = budget.max_depth - prefix.len();
+                match visited.get(&fingerprint) {
+                    Some(&r) if r >= remaining => {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    _ => {
+                        visited.insert(fingerprint, remaining);
+                    }
+                }
+                stats.expanded += 1;
+                // Reverse push order: child 0 explored first (the
+                // deterministic-tail canonical path), depth-first.
+                for d in (0..branching.min(budget.max_branch)).rev() {
+                    let mut child = prefix.clone();
+                    child.push(d);
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    // Random-walk fallback: sample beyond the bounded tree.
+    for w in 0..budget.walks {
+        let report = scenario.run(
+            &[],
+            Tail::Random(budget.walk_seed.wrapping_add(w as u64)),
+            false,
+            max_steps,
+        );
+        stats.runs += 1;
+        if let Some(ce) = fail_of(&report) {
+            return ExploreOutcome {
+                counterexample: Some(ce),
+                stats,
+            };
+        }
+        if seen_schedules.insert(digest(&report.decisions)) {
+            stats.distinct_schedules += 1;
+        }
+    }
+
+    ExploreOutcome {
+        counterexample: None,
+        stats,
+    }
+}

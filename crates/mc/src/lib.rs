@@ -1,0 +1,31 @@
+//! `dpq-mc`: bounded schedule-space model checking for the async scheduler.
+//!
+//! Where `dpq-sim`'s random adversary *samples* message-delivery
+//! interleavings, this crate *systematically explores* them. The pieces:
+//!
+//! - [`policy`] — [`ScriptPolicy`], a [`dpq_sim::DeliveryPolicy`] that
+//!   follows an explicit decision sequence and logs every choice point it
+//!   passes, making runs pure functions of their decision sequence.
+//! - [`drive`] — executes one schedule, fingerprints the reached state, and
+//!   judges terminal states against the semantic oracles.
+//! - [`scenario`] — the small-N Skeap / Seap / KSelect suites (clean and
+//!   with drop/duplicate faults).
+//! - [`checker`] — bounded DFS with fingerprint pruning plus a seeded
+//!   random-walk fallback.
+//! - [`shrink`] — delta-debugs a failing schedule to a minimal decision
+//!   sequence.
+//! - [`schedule`] — `schedule.json` serialization for bit-for-bit replay.
+
+pub mod checker;
+pub mod drive;
+pub mod policy;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+
+pub use checker::{explore, Budget, Counterexample, ExploreOutcome, ExploreStats};
+pub use drive::{drive, RunEnd, RunReport};
+pub use policy::{replay_schedule, ReplaySchedule, ScriptPolicy, Tail};
+pub use scenario::{all_scenarios, by_name, mc_config, Scenario};
+pub use schedule::Schedule;
+pub use shrink::shrink;

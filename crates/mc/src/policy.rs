@@ -1,0 +1,195 @@
+//! Scripted delivery policies: the decision encoding the checker explores.
+//!
+//! A *choice point* is every scheduler step where the [`DeliveryPolicy`] is
+//! consulted **and** at least one message is eligible — exactly the steps
+//! where schedules can diverge. The decision alphabet at a choice point
+//! with `e` eligible messages is `0..=e`:
+//!
+//! * `d < e` — deliver the `d`-th eligible message (slot order);
+//! * `d == e` — *defer*: activate the next node in a deterministic
+//!   round-robin rotation instead of delivering.
+//!
+//! Steps with nothing eligible are not choice points: the policy activates
+//! the round-robin node without consuming (or logging) a decision, and the
+//! periodic sweep steps never reach the policy at all. A run is therefore a
+//! pure function of the scenario and its decision sequence, which is what
+//! makes recorded schedules replayable bit-for-bit.
+
+use dpq_core::DetRng;
+use dpq_sim::{AsyncConfig, DeliveryPolicy, StepChoice};
+
+/// What a [`ScriptPolicy`] does once its script is exhausted.
+#[derive(Debug, Clone, Copy)]
+pub enum Tail {
+    /// Always pick decision 0 (deliver the first eligible message). The
+    /// DFS uses this to extend any explored prefix to a canonical terminal
+    /// state, and replays use it so a shrunk prefix determines the whole
+    /// run.
+    Deterministic,
+    /// Draw uniform decisions from `0..=eligible` with this seed — the
+    /// random-walk fallback for budgets the DFS cannot exhaust.
+    Random(u64),
+}
+
+enum TailState {
+    Deterministic,
+    Random(DetRng),
+}
+
+/// A [`DeliveryPolicy`] that follows a decision script and logs every
+/// choice point it passes.
+pub struct ScriptPolicy {
+    script: Vec<usize>,
+    cursor: usize,
+    tail: TailState,
+    /// Round-robin activation rotation (shared by defer decisions and
+    /// nothing-eligible steps) — part of the scheduler state a fingerprint
+    /// must include.
+    rr: usize,
+    log: Vec<usize>,
+    branching: Vec<usize>,
+}
+
+impl ScriptPolicy {
+    /// Follow `script`, then continue per `tail`.
+    pub fn new(script: Vec<usize>, tail: Tail) -> Self {
+        ScriptPolicy {
+            script,
+            cursor: 0,
+            tail: match tail {
+                Tail::Deterministic => TailState::Deterministic,
+                Tail::Random(seed) => TailState::Random(DetRng::new(seed)),
+            },
+            rr: 0,
+            log: Vec::new(),
+            branching: Vec::new(),
+        }
+    }
+
+    /// Has every scripted decision been consumed?
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.script.len()
+    }
+
+    /// Decisions taken so far, in order (scripted and tail alike).
+    pub fn log(&self) -> &[usize] {
+        &self.log
+    }
+
+    /// Branching factor (`eligible + 1`) observed at each choice point.
+    pub fn branching(&self) -> &[usize] {
+        &self.branching
+    }
+
+    /// Current round-robin activation cursor.
+    pub fn rr(&self) -> usize {
+        self.rr
+    }
+}
+
+impl DeliveryPolicy for ScriptPolicy {
+    fn decide(&mut self, eligible: usize, nodes: usize, _cfg: &AsyncConfig) -> StepChoice {
+        if eligible == 0 {
+            // Not a choice point: the only thing a step can do is activate.
+            let i = self.rr % nodes.max(1);
+            self.rr += 1;
+            return StepChoice::Activate(i);
+        }
+        let d = if self.cursor < self.script.len() {
+            // Clamp keeps shrunk/mutated scripts valid: a decision beyond
+            // the current alphabet degrades to the defer decision.
+            let d = self.script[self.cursor].min(eligible);
+            self.cursor += 1;
+            d
+        } else {
+            match &mut self.tail {
+                TailState::Deterministic => 0,
+                TailState::Random(rng) => rng.below(eligible as u64 + 1) as usize,
+            }
+        };
+        self.log.push(d);
+        self.branching.push(eligible + 1);
+        if d < eligible {
+            StepChoice::Deliver(d)
+        } else {
+            let i = self.rr % nodes.max(1);
+            self.rr += 1;
+            StepChoice::Activate(i)
+        }
+    }
+}
+
+/// Replay a recorded schedule bit-for-bit: the scripted decisions followed
+/// by the canonical deterministic tail. Identical decisions on the same
+/// scenario reproduce the identical run, so a serialized `schedule.json`
+/// re-triggers exactly the execution that failed.
+pub type ReplaySchedule = ScriptPolicy;
+
+/// Build the replay policy for a recorded decision sequence.
+pub fn replay_schedule(decisions: Vec<usize>) -> ReplaySchedule {
+    ScriptPolicy::new(decisions, Tail::Deterministic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(policy: &mut ScriptPolicy, calls: &[(usize, usize)]) -> Vec<StepChoice> {
+        let cfg = AsyncConfig::default();
+        calls
+            .iter()
+            .map(|&(e, n)| policy.decide(e, n, &cfg))
+            .collect()
+    }
+
+    #[test]
+    fn script_then_deterministic_tail() {
+        let mut p = ScriptPolicy::new(vec![1, 3, 0], Tail::Deterministic);
+        let out = run(&mut p, &[(2, 3), (0, 3), (3, 3), (1, 3), (2, 3)]);
+        assert_eq!(
+            out,
+            vec![
+                StepChoice::Deliver(1),  // scripted 1
+                StepChoice::Activate(0), // eligible 0: rr activation, unlogged
+                StepChoice::Activate(1), // scripted 3 == eligible: defer
+                StepChoice::Deliver(0),  // scripted 0
+                StepChoice::Deliver(0),  // tail
+            ]
+        );
+        assert_eq!(p.log(), &[1, 3, 0, 0]);
+        assert_eq!(p.branching(), &[3, 4, 2, 3]);
+    }
+
+    #[test]
+    fn defer_decision_rotates_round_robin() {
+        let mut p = ScriptPolicy::new(vec![2, 2, 0], Tail::Deterministic);
+        let out = run(&mut p, &[(2, 4), (2, 4), (2, 4)]);
+        assert_eq!(
+            out,
+            vec![
+                StepChoice::Activate(0),
+                StepChoice::Activate(1),
+                StepChoice::Deliver(0),
+            ]
+        );
+        assert_eq!(p.rr(), 2);
+    }
+
+    #[test]
+    fn clamped_decisions_degrade_to_defer() {
+        let mut p = ScriptPolicy::new(vec![9], Tail::Deterministic);
+        let out = run(&mut p, &[(2, 3)]);
+        assert_eq!(out, vec![StepChoice::Activate(0)]);
+        assert_eq!(p.log(), &[2]);
+    }
+
+    #[test]
+    fn random_tail_replays_from_its_log() {
+        let mut walk = ScriptPolicy::new(Vec::new(), Tail::Random(42));
+        let calls = [(3, 4), (1, 4), (0, 4), (5, 4), (2, 4)];
+        let walked = run(&mut walk, &calls);
+        let mut replayed = replay_schedule(walk.log().to_vec());
+        assert_eq!(run(&mut replayed, &calls), walked);
+        assert_eq!(replayed.log(), walk.log());
+    }
+}

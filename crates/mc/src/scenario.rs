@@ -1,0 +1,442 @@
+//! The small-N scenario suites the checker explores.
+//!
+//! Every scenario is a *closed* system: a fixed cluster, a fixed workload
+//! injected up front, and a fixed fault plan — so a run is a pure function
+//! of the delivery-decision sequence and any violation is reproducible from
+//! its `schedule.json` alone. Sizes follow the issue brief (3–5 nodes,
+//! 6–12 operations): small enough that the interesting interleavings are
+//! within DFS reach, large enough that batches, waves, and the DHT all
+//! participate.
+
+use crate::drive::{drive, RunReport};
+use crate::policy::{ScriptPolicy, Tail};
+use dpq_core::workload::{generate, WorkloadSpec};
+use dpq_core::{Element, History, Key, OpKind, OpReturn};
+use dpq_semantics::{check_local_consistency, replay, ReplayMode};
+use dpq_sim::{AsyncConfig, FaultPlan, Reliable};
+use kselect::driver::{random_candidates, sequential_select};
+use kselect::{KSelectConfig, KSelectNode};
+use seap::SeapNode;
+use skeap::SkeapNode;
+
+/// The adversary configuration every scenario runs under: frequent sweeps
+/// keep defer-heavy schedules progressing (sweeps are deterministic, not
+/// choice points), and no delay bound — forced deliveries would bypass the
+/// policy.
+pub fn mc_config() -> AsyncConfig {
+    AsyncConfig {
+        deliver_bias: 0.6, // unused by scripted policies
+        sweep_every: 8,
+        max_delay: None,
+    }
+}
+
+/// A model-checkable system: builds itself from scratch for every schedule.
+pub trait Scenario {
+    /// Registry name (also the `--scenario` CLI argument).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `dpq-mc list`.
+    fn describe(&self) -> String;
+
+    /// Execute one schedule: follow `script`, continue per `tail`, stop at
+    /// the first post-script choice point when `stop_at_frontier` (the DFS
+    /// expansion probe) or run to quiescence / the `max_steps` stall bound
+    /// otherwise. Terminal states are judged by the scenario's oracles.
+    fn run(
+        &self,
+        script: &[usize],
+        tail: Tail,
+        stop_at_frontier: bool,
+        max_steps: u64,
+    ) -> RunReport;
+
+    /// Step budget after which a run counts as stalled (liveness).
+    fn max_steps(&self) -> u64 {
+        100_000
+    }
+}
+
+// ---------------------------------------------------------------- oracles
+
+/// Element conservation: every element inserted by a completed Insert is
+/// either returned by exactly one DeleteMin or still resident in some DHT
+/// shard when the system quiesces — nothing is lost, nothing is minted.
+fn check_conservation(history: &History, mut residual: Vec<Element>) -> Option<String> {
+    let mut inserted: Vec<Element> = Vec::new();
+    let mut removed: Vec<Element> = Vec::new();
+    for r in history.records() {
+        match (r.kind, r.ret) {
+            (OpKind::Insert(e), Some(OpReturn::Inserted)) => inserted.push(e),
+            (_, Some(OpReturn::Removed(e))) => removed.push(e),
+            _ => {}
+        }
+    }
+    let key = |e: &Element| (e.prio, e.id, e.payload);
+    inserted.sort_unstable_by_key(key);
+    removed.sort_unstable_by_key(key);
+    residual.sort_unstable_by_key(key);
+    // inserted − removed must equal residual, as multisets.
+    let mut expected = inserted;
+    for e in &removed {
+        match expected.iter().position(|x| key(x) == key(e)) {
+            Some(i) => {
+                expected.remove(i);
+            }
+            None => {
+                return Some(format!(
+                    "conservation: removed element {:?} was never inserted",
+                    e.id
+                ))
+            }
+        }
+    }
+    if expected != residual {
+        return Some(format!(
+            "conservation: {} elements unaccounted for ({} expected resident, {} found)",
+            expected.len().abs_diff(residual.len()),
+            expected.len(),
+            residual.len()
+        ));
+    }
+    None
+}
+
+fn judge_skeap(nodes: &[&SkeapNode]) -> Option<String> {
+    let history = History::merge(nodes.iter().map(|n| n.history.clone()).collect());
+    let residual: Vec<Element> = nodes
+        .iter()
+        .flat_map(|n| n.shard.elements().map(|(_, e)| *e))
+        .collect();
+    if let Err(v) = check_local_consistency(&history) {
+        return Some(v.to_string());
+    }
+    if let Err(v) = replay(&history, ReplayMode::Fifo) {
+        return Some(v.to_string());
+    }
+    check_conservation(&history, residual)
+}
+
+fn judge_seap(nodes: &[&SeapNode]) -> Option<String> {
+    let history = History::merge(nodes.iter().map(|n| n.history.clone()).collect());
+    let residual: Vec<Element> = nodes
+        .iter()
+        .flat_map(|n| n.shard.elements().map(|(_, e)| *e))
+        .collect();
+    if let Err(v) = check_local_consistency(&history) {
+        return Some(v.to_string());
+    }
+    if let Err(v) = seap::checker::check_seap_history(&history) {
+        return Some(v.to_string());
+    }
+    check_conservation(&history, residual)
+}
+
+fn judge_kselect(nodes: &[&KSelectNode], expected: Key) -> Option<String> {
+    nodes.iter().enumerate().find_map(|(i, n)| match n.result {
+        None => Some(format!("liveness: node {i} never learned a result")),
+        Some(k) if k != expected => Some(format!(
+            "node {i} announced rank-k key {:?}, sequential answer is {:?}",
+            k, expected
+        )),
+        _ => None,
+    })
+}
+
+// ------------------------------------------------------------- scenarios
+
+/// Drop/duplicate fault layer shared by every `*_drops` scenario: lossy
+/// enough to exercise retransmission paths, seeded so runs stay pure
+/// functions of the decision sequence.
+#[derive(Debug, Clone, Copy)]
+struct Drops {
+    drop_p: f64,
+    dup_p: f64,
+    seed: u64,
+    /// Retransmission timeout of the [`Reliable`] wrapper, in steps.
+    timeout: u64,
+}
+
+impl Drops {
+    fn plan(&self) -> FaultPlan {
+        FaultPlan::uniform(self.seed, self.drop_p, self.dup_p)
+    }
+}
+
+const DEFAULT_DROPS: Drops = Drops {
+    drop_p: 0.15,
+    dup_p: 0.1,
+    seed: 0xD0_05,
+    timeout: 24,
+};
+
+struct SkeapScenario {
+    name: &'static str,
+    spec: WorkloadSpec,
+    drops: Option<Drops>,
+}
+
+impl Scenario for SkeapScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Skeap, {} nodes x {} ops, |P|={}{}",
+            self.spec.n,
+            self.spec.ops_per_node,
+            self.spec.n_prios,
+            if self.drops.is_some() {
+                ", drop/dup faults"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn run(
+        &self,
+        script: &[usize],
+        tail: Tail,
+        stop_at_frontier: bool,
+        max_steps: u64,
+    ) -> RunReport {
+        let mut nodes =
+            skeap::cluster::build(self.spec.n, self.spec.n_prios as usize, self.spec.seed);
+        let scripts = generate(&self.spec);
+        skeap::cluster::inject_all(&mut nodes, &scripts);
+        let policy = ScriptPolicy::new(script.to_vec(), tail);
+        match self.drops {
+            None => drive(
+                nodes,
+                mc_config(),
+                FaultPlan::none(),
+                policy,
+                stop_at_frontier,
+                max_steps,
+                |ns: &[SkeapNode]| ns.iter().all(SkeapNode::all_complete),
+                |ns| judge_skeap(&ns.iter().collect::<Vec<_>>()),
+            ),
+            Some(d) => drive(
+                Reliable::wrap_all(nodes, d.timeout),
+                mc_config(),
+                d.plan(),
+                policy,
+                stop_at_frontier,
+                max_steps,
+                |ns: &[Reliable<SkeapNode>]| ns.iter().all(|n| n.inner().all_complete()),
+                |ns| judge_skeap(&ns.iter().map(Reliable::inner).collect::<Vec<_>>()),
+            ),
+        }
+    }
+}
+
+struct SeapScenario {
+    name: &'static str,
+    spec: WorkloadSpec,
+    drops: Option<Drops>,
+}
+
+impl Scenario for SeapScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Seap, {} nodes x {} ops{}",
+            self.spec.n,
+            self.spec.ops_per_node,
+            if self.drops.is_some() {
+                ", drop/dup faults"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn run(
+        &self,
+        script: &[usize],
+        tail: Tail,
+        stop_at_frontier: bool,
+        max_steps: u64,
+    ) -> RunReport {
+        let mut nodes = seap::cluster::build(self.spec.n, self.spec.seed);
+        let scripts = generate(&self.spec);
+        seap::cluster::inject_all(&mut nodes, &scripts);
+        let policy = ScriptPolicy::new(script.to_vec(), tail);
+        match self.drops {
+            None => drive(
+                nodes,
+                mc_config(),
+                FaultPlan::none(),
+                policy,
+                stop_at_frontier,
+                max_steps,
+                |ns: &[SeapNode]| ns.iter().all(SeapNode::all_complete),
+                |ns| judge_seap(&ns.iter().collect::<Vec<_>>()),
+            ),
+            Some(d) => drive(
+                Reliable::wrap_all(nodes, d.timeout),
+                mc_config(),
+                d.plan(),
+                policy,
+                stop_at_frontier,
+                max_steps,
+                |ns: &[Reliable<SeapNode>]| ns.iter().all(|n| n.inner().all_complete()),
+                |ns| judge_seap(&ns.iter().map(Reliable::inner).collect::<Vec<_>>()),
+            ),
+        }
+    }
+}
+
+struct KSelectScenario {
+    name: &'static str,
+    n: usize,
+    m: u64,
+    k: u64,
+    prio_space: u64,
+    seed: u64,
+    drops: Option<Drops>,
+}
+
+impl Scenario for KSelectScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "KSelect, {} nodes, m={}, k={}{}",
+            self.n,
+            self.m,
+            self.k,
+            if self.drops.is_some() {
+                ", drop/dup faults"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn run(
+        &self,
+        script: &[usize],
+        tail: Tail,
+        stop_at_frontier: bool,
+        max_steps: u64,
+    ) -> RunReport {
+        let per_node = random_candidates(self.n, self.m, self.prio_space, self.seed);
+        let expected = sequential_select(&per_node, self.k);
+        let nodes = kselect::driver::build(
+            self.n,
+            per_node,
+            self.k,
+            KSelectConfig::default(),
+            self.seed,
+        );
+        let policy = ScriptPolicy::new(script.to_vec(), tail);
+        match self.drops {
+            None => drive(
+                nodes,
+                mc_config(),
+                FaultPlan::none(),
+                policy,
+                stop_at_frontier,
+                max_steps,
+                |ns: &[KSelectNode]| ns.iter().all(|n| n.result.is_some()),
+                |ns| judge_kselect(&ns.iter().collect::<Vec<_>>(), expected),
+            ),
+            Some(d) => drive(
+                Reliable::wrap_all(nodes, d.timeout),
+                mc_config(),
+                d.plan(),
+                policy,
+                stop_at_frontier,
+                max_steps,
+                |ns: &[Reliable<KSelectNode>]| ns.iter().all(|n| n.inner().result.is_some()),
+                |ns| {
+                    judge_kselect(
+                        &ns.iter().map(Reliable::inner).collect::<Vec<_>>(),
+                        expected,
+                    )
+                },
+            ),
+        }
+    }
+}
+
+/// Every registered scenario, in CLI order.
+pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(SkeapScenario {
+            name: "skeap_clean",
+            spec: WorkloadSpec {
+                n: 4,
+                ops_per_node: 2,
+                insert_ratio: 0.6,
+                n_prios: 3,
+                seed: 11,
+            },
+            drops: None,
+        }),
+        Box::new(SkeapScenario {
+            name: "skeap_drops",
+            spec: WorkloadSpec {
+                n: 3,
+                ops_per_node: 2,
+                insert_ratio: 0.6,
+                n_prios: 3,
+                seed: 12,
+            },
+            drops: Some(DEFAULT_DROPS),
+        }),
+        Box::new(SeapScenario {
+            name: "seap_clean",
+            spec: WorkloadSpec {
+                n: 4,
+                ops_per_node: 2,
+                insert_ratio: 0.6,
+                n_prios: 4,
+                seed: 21,
+            },
+            drops: None,
+        }),
+        Box::new(SeapScenario {
+            name: "seap_drops",
+            spec: WorkloadSpec {
+                n: 3,
+                ops_per_node: 2,
+                insert_ratio: 0.6,
+                n_prios: 4,
+                seed: 22,
+            },
+            drops: Some(DEFAULT_DROPS),
+        }),
+        Box::new(KSelectScenario {
+            name: "kselect_clean",
+            n: 4,
+            m: 8,
+            k: 3,
+            prio_space: 16,
+            seed: 31,
+            drops: None,
+        }),
+        Box::new(KSelectScenario {
+            name: "kselect_drops",
+            n: 4,
+            m: 6,
+            k: 2,
+            prio_space: 16,
+            seed: 32,
+            drops: Some(DEFAULT_DROPS),
+        }),
+    ]
+}
+
+/// Look up a scenario by registry name.
+pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
+    all_scenarios().into_iter().find(|s| s.name() == name)
+}

@@ -1,0 +1,83 @@
+//! Delta-debugging a failing schedule down to a minimal decision sequence.
+//!
+//! Because a run is a pure function of its decision sequence (deterministic
+//! tail), "still fails" is re-checkable by re-execution. Shrinking accepts
+//! *any* violation, not just the original one — standard ddmin practice:
+//! the minimal schedule may surface a cleaner manifestation of the same
+//! bug, and what matters is that `schedule.json` reproduces a failure.
+//!
+//! Two passes:
+//! 1. **ddmin** — remove progressively finer chunks of the sequence while
+//!    the failure persists (decisions index *eligible* messages, so a
+//!    shortened script stays meaningful; out-of-range decisions clamp to
+//!    the defer choice).
+//! 2. **pointwise lowering** — replace each surviving decision with the
+//!    smallest value that still fails, canonicalizing toward
+//!    deliver-first/defer-less schedules.
+
+use crate::policy::Tail;
+use crate::scenario::Scenario;
+
+fn still_fails(scenario: &dyn Scenario, decisions: &[usize], max_steps: u64) -> bool {
+    scenario
+        .run(decisions, Tail::Deterministic, false, max_steps)
+        .failed()
+}
+
+/// Shrink `decisions` to a locally minimal failing sequence. Returns the
+/// input unchanged if it does not fail when replayed (caller bug).
+pub fn shrink(scenario: &dyn Scenario, decisions: &[usize]) -> Vec<usize> {
+    let max_steps = scenario.max_steps();
+    let mut cur = decisions.to_vec();
+    if !still_fails(scenario, &cur, max_steps) {
+        return cur;
+    }
+
+    // Pass 1: ddmin chunk removal.
+    let mut chunks = 2usize;
+    while cur.len() > 1 {
+        let chunk = cur.len().div_ceil(chunks);
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if still_fails(scenario, &candidate, max_steps) {
+                cur = candidate;
+                removed_any = true;
+                // Keep the same granularity; `start` now points at the
+                // next chunk in the shortened sequence.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any {
+            if chunk <= 1 {
+                break;
+            }
+            chunks = (chunks * 2).min(cur.len());
+        } else {
+            chunks = chunks.max(2).min(cur.len().max(2));
+        }
+    }
+    // Try dropping to the empty schedule outright (bugs that reproduce on
+    // the canonical path alone).
+    if !cur.is_empty() && still_fails(scenario, &[], max_steps) {
+        cur = Vec::new();
+    }
+
+    // Pass 2: pointwise lowering toward 0.
+    for i in 0..cur.len() {
+        let orig = cur[i];
+        for v in 0..orig {
+            cur[i] = v;
+            if still_fails(scenario, &cur, max_steps) {
+                break;
+            }
+            cur[i] = orig;
+        }
+    }
+    cur
+}

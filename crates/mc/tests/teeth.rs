@@ -1,0 +1,197 @@
+//! The checker has teeth: it must find a bug that manifests only under a
+//! specific delivery interleaving — one the canonical deterministic path
+//! never takes — then shrink it to its minimal decision sequence and
+//! reproduce it from `schedule.json` alone.
+
+use dpq_core::{NodeId, StateHash, StateHasher};
+use dpq_mc::{
+    drive, explore, mc_config, shrink, Budget, RunReport, Scenario, Schedule, ScriptPolicy, Tail,
+};
+use dpq_sim::{Ctx, FaultPlan, Protocol};
+
+/// A three-node message race. Node 0 sends `1` directly to node 2 and `2`
+/// to node 1; node 1 relays `3` to node 2. The protocol is "correct" only
+/// if the direct message wins the race: node 2 observing `[3, 1]` is the
+/// planted violation. The canonical path (always deliver slot 0) is clean,
+/// so only genuine schedule exploration can expose it.
+#[derive(Debug, Default)]
+struct RaceNode {
+    me: u64,
+    fired: bool,
+    got: Vec<u64>,
+}
+
+impl Protocol for RaceNode {
+    type Msg = u64;
+
+    fn on_activate(&mut self, ctx: &mut Ctx<u64>) {
+        if self.me == 0 && !self.fired {
+            self.fired = true;
+            ctx.send(NodeId(2), 1);
+            ctx.send(NodeId(1), 2);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
+        match (self.me, msg) {
+            (1, 2) => ctx.send(NodeId(2), 3),
+            (2, m) => self.got.push(m),
+            _ => {}
+        }
+    }
+}
+
+impl StateHash for RaceNode {
+    fn state_hash(&self, h: &mut StateHasher) {
+        h.write_u64(self.me);
+        self.fired.state_hash(h);
+        self.got.state_hash(h);
+    }
+}
+
+struct RaceScenario;
+
+impl Scenario for RaceScenario {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn describe(&self) -> String {
+        "planted message race (test only)".to_string()
+    }
+
+    fn run(
+        &self,
+        script: &[usize],
+        tail: Tail,
+        stop_at_frontier: bool,
+        max_steps: u64,
+    ) -> RunReport {
+        let nodes = (0..3)
+            .map(|me| RaceNode {
+                me,
+                ..Default::default()
+            })
+            .collect();
+        drive(
+            nodes,
+            mc_config(),
+            FaultPlan::none(),
+            ScriptPolicy::new(script.to_vec(), tail),
+            stop_at_frontier,
+            max_steps,
+            |ns: &[RaceNode]| ns[2].got.len() == 2,
+            |ns| (ns[2].got == [3, 1]).then(|| "relay overtook the direct message".to_string()),
+        )
+    }
+
+    fn max_steps(&self) -> u64 {
+        1_000
+    }
+}
+
+#[test]
+fn canonical_path_is_clean() {
+    let report = RaceScenario.run(&[], Tail::Deterministic, false, 1_000);
+    assert!(!report.failed(), "deterministic path must not race");
+}
+
+#[test]
+fn dfs_finds_shrinks_and_replays_the_race() {
+    let budget = Budget {
+        max_depth: 4,
+        max_branch: 4,
+        max_runs: 500,
+        walks: 0,
+        walk_seed: 1,
+    };
+    let outcome = explore(&RaceScenario, &budget);
+    let ce = outcome
+        .counterexample
+        .expect("DFS must find the planted race");
+    assert_eq!(ce.violation, "relay overtook the direct message");
+
+    let minimal = shrink(&RaceScenario, &ce.decisions);
+    // The race needs exactly two non-canonical decisions: deliver the
+    // relay-triggering message first, then the relayed message before the
+    // direct one.
+    assert_eq!(minimal, vec![1, 1], "minimal schedule for the race");
+
+    // Round-trip through schedule.json and replay bit-for-bit.
+    let sched = Schedule {
+        scenario: "race".to_string(),
+        decisions: minimal.clone(),
+        violation: ce.violation.clone(),
+        original_len: ce.decisions.len(),
+    };
+    let parsed = Schedule::from_json(&sched.to_json()).expect("parse schedule.json");
+    assert_eq!(parsed, sched);
+    let replay = RaceScenario.run(&parsed.decisions, Tail::Deterministic, false, 1_000);
+    assert_eq!(
+        replay.violation.as_deref(),
+        Some("relay overtook the direct message"),
+        "shrunk schedule must reproduce the violation on replay"
+    );
+}
+
+#[test]
+fn random_walks_also_find_the_race() {
+    // DFS disabled (zero runs): only the seeded random-walk fallback runs.
+    let budget = Budget {
+        max_depth: 0,
+        max_branch: 0,
+        max_runs: 0,
+        walks: 64,
+        walk_seed: 0xACE,
+    };
+    let outcome = explore(&RaceScenario, &budget);
+    let ce = outcome
+        .counterexample
+        .expect("random walks must stumble into the race");
+    // A walk's decision log replays to the same failure (pure function of
+    // the decision sequence).
+    let replay = RaceScenario.run(&ce.decisions, Tail::Deterministic, false, 1_000);
+    assert!(replay.failed(), "walk log must replay to the same failure");
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let budget = Budget {
+        max_depth: 6,
+        max_branch: 3,
+        max_runs: 200,
+        walks: 20,
+        walk_seed: 7,
+    };
+    let a = explore(&RaceScenario, &budget);
+    let b = explore(&RaceScenario, &budget);
+    let (ca, cb) = (a.counterexample.unwrap(), b.counterexample.unwrap());
+    assert_eq!(ca.decisions, cb.decisions);
+    assert_eq!(ca.violation, cb.violation);
+    assert_eq!(a.stats.runs, b.stats.runs);
+    assert_eq!(a.stats.distinct_schedules, b.stats.distinct_schedules);
+}
+
+#[test]
+fn registered_scenarios_stay_clean_at_smoke_budget() {
+    // A miniature of the check.sh `mc` tier: every registered scenario, a
+    // few dozen schedules each, zero violations expected. (Full budgets run
+    // in release via `scripts/check.sh mc`.)
+    let budget = Budget {
+        max_depth: 4,
+        max_branch: 3,
+        max_runs: 40,
+        walks: 8,
+        walk_seed: 0x5EED,
+    };
+    for scenario in dpq_mc::all_scenarios() {
+        let outcome = explore(scenario.as_ref(), &budget);
+        assert!(
+            outcome.counterexample.is_none(),
+            "{}: unexpected violation: {:?}",
+            scenario.name(),
+            outcome.counterexample
+        );
+        assert!(outcome.stats.distinct_schedules > 0, "{}", scenario.name());
+    }
+}

@@ -724,3 +724,50 @@ impl Protocol for SeapNode {
         self.ins_buf.is_empty() && self.del_buf.is_empty() && self.all_complete()
     }
 }
+
+impl dpq_core::StateHash for SeapAnchor {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        h.write_u64(match self.stage {
+            AStage::InsCount => 0,
+            AStage::InsWork => 1,
+            AStage::DelCount => 2,
+            AStage::KSel => 3,
+            AStage::StoreCount => 4,
+            AStage::DelWork => 5,
+        });
+        h.write_u64(self.m);
+        h.write_u64(self.k_del);
+        h.write_u64(self.k_eff);
+        self.key_k.state_hash(h);
+    }
+}
+
+impl dpq_core::StateHash for SeapNode {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        // `view`/`cfg` are static per scenario; the RNG drives the random
+        // DHT keys and is real state.
+        self.history.state_hash(h);
+        self.rng.state_hash(h);
+        self.ins_buf.state_hash(h);
+        self.del_buf.state_hash(h);
+        h.write_u64(self.elem_seq);
+        h.write_u64(self.phase);
+        h.write_u64(self.started as u64);
+        self.snapshot_ins.state_hash(h);
+        self.snapshot_del.state_hash(h);
+        self.collector_count.state_hash(h);
+        self.own_count.state_hash(h);
+        self.child_ins_counts.state_hash(h);
+        self.child_del_counts.state_hash(h);
+        self.child_store_counts.state_hash(h);
+        self.collector_done.state_hash(h);
+        h.write_u64(self.awaiting_done as u64);
+        h.write_u64(self.pending_acks as u64);
+        h.write_u64(self.pending_gets as u64);
+        h.write_u64(self.repos_seq);
+        self.ks.state_hash(h);
+        self.anchor.state_hash(h);
+        self.shard.state_hash(h);
+        self.client.state_hash(h);
+    }
+}

@@ -755,6 +755,19 @@ fn parse_toml(text: &str) -> Result<FaultPlan, String> {
     Ok(plan)
 }
 
+impl dpq_core::StateHash for FaultState {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        // The plan itself is static configuration (already part of the
+        // scenario identity); what varies along an execution is the fault
+        // RNG stream, the transition clock, and the down map. `stats` is
+        // telemetry and deliberately excluded.
+        self.rng.state_hash(h);
+        h.write_u64(self.now);
+        h.write_u64(self.next);
+        self.down.state_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -248,6 +248,11 @@ impl<M> FlightSet<M> {
         self.slots.is_empty()
     }
 
+    /// All in-flight envelopes in slot order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
+        self.slots.iter().map(|s| &s.env)
+    }
+
     fn alloc_id(&mut self) -> u32 {
         if let Some(id) = self.free_ids.pop() {
             return id;

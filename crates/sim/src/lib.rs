@@ -23,6 +23,7 @@ pub mod envelope;
 pub mod faults;
 mod flightset;
 pub mod metrics;
+pub mod policy;
 pub mod protocol;
 pub mod reliable;
 pub mod sched_async;
@@ -36,6 +37,7 @@ pub use faults::{
 pub use metrics::{
     KindStat, LatencySummary, Metrics, MetricsDelta, MetricsSnapshot, RoundSample, RoundWindow,
 };
+pub use policy::{DeliveryPolicy, RandomAdversary, StepChoice};
 pub use protocol::{Ctx, Protocol};
 pub use reliable::{Reliable, ReliableMsg, ReliableStats};
 pub use sched_async::{AsyncConfig, AsyncScheduler};

@@ -1,0 +1,98 @@
+//! The asynchronous adversary's *choice point*, made explicit.
+//!
+//! Every non-sweep, non-forced step of [`AsyncScheduler`] must pick either
+//! "deliver the k-th eligible in-flight message" or "activate node i". The
+//! scheduler used to draw that choice inline from its own RNG; the
+//! [`DeliveryPolicy`] trait factors the decision out so a model checker
+//! (`dpq-mc`) can *enumerate* schedules instead of sampling them, while the
+//! default [`RandomAdversary`] reproduces the historical RNG draw sequence
+//! byte-for-byte (pinned by `tests/golden_async.rs`).
+//!
+//! [`AsyncScheduler`]: crate::sched_async::AsyncScheduler
+
+use crate::sched_async::AsyncConfig;
+use dpq_core::DetRng;
+
+/// One scheduling decision at a choice point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepChoice {
+    /// Deliver the `k`-th *eligible* in-flight message (slot order). The
+    /// scheduler maps `k` to a slot index; `k` must be `< eligible`.
+    Deliver(usize),
+    /// Activate node `i` (`i < nodes`). Activating a crashed node consumes
+    /// the step doing nothing (fail-pause), exactly as before.
+    Activate(usize),
+}
+
+/// Chooses what the adversary does at each free step.
+///
+/// Called exactly once per [`step_once`] that is neither a periodic sweep
+/// nor a bounded-delay forced delivery — i.e. once per point where the old
+/// inline adversary consulted its RNG. `eligible` is the number of mature
+/// in-flight messages (all of them when no fault plan is active), `nodes`
+/// the node count. Implementations must return `Deliver(k)` with
+/// `k < eligible` or `Activate(i)` with `i < nodes`.
+///
+/// [`step_once`]: crate::sched_async::AsyncScheduler::step_once
+pub trait DeliveryPolicy {
+    /// Decide the next step.
+    fn decide(&mut self, eligible: usize, nodes: usize, cfg: &AsyncConfig) -> StepChoice;
+}
+
+/// The default randomized adversary: a biased coin between delivery and
+/// activation, then a uniform pick. This is *exactly* the retired inline
+/// logic, draw for draw: the coin is only flipped when something is
+/// eligible (`&&` short-circuit), so schedulers built from the same seed
+/// make identical choices before and after the refactor.
+#[derive(Debug, Clone)]
+pub struct RandomAdversary {
+    rng: DetRng,
+}
+
+impl RandomAdversary {
+    /// Adversary with its own seeded stream.
+    pub fn new(seed: u64) -> Self {
+        RandomAdversary {
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl DeliveryPolicy for RandomAdversary {
+    fn decide(&mut self, eligible: usize, nodes: usize, cfg: &AsyncConfig) -> StepChoice {
+        let deliver = eligible > 0 && (self.rng.chance(cfg.deliver_bias) || nodes == 0);
+        if deliver {
+            StepChoice::Deliver(self.rng.below(eligible as u64) as usize)
+        } else {
+            StepChoice::Activate(self.rng.below(nodes as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_adversary_matches_inline_draw_sequence() {
+        // Reference: the retired inline logic against a sibling RNG seeded
+        // identically must agree decision-for-decision.
+        let cfg = AsyncConfig::default();
+        let mut pol = RandomAdversary::new(77);
+        let mut rng = DetRng::new(77);
+        let mut wl = DetRng::new(5);
+        for _ in 0..10_000 {
+            let eligible = wl.below(5) as usize; // 0 exercises the short-circuit
+            let nodes = 1 + wl.below(4) as usize;
+            let want = {
+                let deliver = eligible > 0 && (rng.chance(cfg.deliver_bias) || nodes == 0);
+                if deliver {
+                    StepChoice::Deliver(rng.below(eligible as u64) as usize)
+                } else {
+                    StepChoice::Activate(rng.below(nodes as u64) as usize)
+                }
+            };
+            assert_eq!(pol.decide(eligible, nodes, &cfg), want);
+        }
+    }
+}

@@ -266,6 +266,36 @@ where
     }
 }
 
+impl<P: Protocol + dpq_core::StateHash> dpq_core::StateHash for Reliable<P>
+where
+    P::Msg: Clone + dpq_core::BitSize,
+{
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        // Payloads are approximated by their encoded size: `P::Msg` need
+        // not implement StateHash, and the inner protocol state plus the
+        // (dst, seq, last-sent) structure disambiguates almost everything
+        // a bit count leaves ambiguous. `stats` is telemetry — excluded.
+        self.inner.state_hash(h);
+        h.write_u64(self.tx.len() as u64);
+        for (dst, link) in &self.tx {
+            dst.state_hash(h);
+            h.write_u64(link.next_seq);
+            h.write_u64(link.unacked.len() as u64);
+            for (seq, (msg, last)) in &link.unacked {
+                h.write_u64(*seq);
+                h.write_u64(msg.bits());
+                h.write_u64(*last);
+            }
+        }
+        h.write_u64(self.rx.len() as u64);
+        for (src, link) in &self.rx {
+            src.state_hash(h);
+            h.write_u64(link.watermark);
+            link.seen.state_hash(h);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,11 +13,13 @@
 //! round-robin activation sweep is interleaved so runs terminate even when
 //! the coin is unlucky.
 
+use crate::envelope::Envelope;
 use crate::faults::{FaultPlan, FaultState};
 use crate::flightset::FlightSet;
 use crate::metrics::Metrics;
+use crate::policy::{DeliveryPolicy, RandomAdversary, StepChoice};
 use crate::protocol::{Ctx, CtxBufs, CtxEvent, Protocol};
-use dpq_core::{DetRng, NodeId, OpId};
+use dpq_core::{NodeId, OpId};
 use dpq_trace::{NullTracer, TraceEvent, Tracer};
 
 /// Tunables for the asynchronous adversary.
@@ -54,12 +56,17 @@ impl Default for AsyncConfig {
 /// axis of its events is the adversary *step* counter (there are no rounds,
 /// so no `RoundEnd` events are emitted).
 ///
+/// Also generic over the [`DeliveryPolicy`] that picks what each free step
+/// does. The default [`RandomAdversary`] is the paper's randomized
+/// adversary; `dpq-mc` plugs in scripted policies to enumerate schedules.
+///
 /// Optionally executes a [`FaultPlan`]. The plan draws from its own seeded
 /// stream, never from the adversary's, so a null plan leaves the adversary's
 /// choices — and therefore the whole run — bit-for-bit identical to a
 /// scheduler constructed without one. `P::Msg: Clone` because the fault
 /// layer may have to duplicate a message.
-pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer> {
+pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer, D: DeliveryPolicy = RandomAdversary>
+{
     nodes: Vec<P>,
     /// In-flight messages, maturity-indexed when the fault layer (or a
     /// delay bound) makes readiness non-trivial.
@@ -70,7 +77,7 @@ pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     pub metrics: Metrics,
     /// The event sink.
     pub tracer: T,
-    rng: DetRng,
+    policy: D,
     cfg: AsyncConfig,
     step: u64,
     /// Recycled Ctx storage: one outbox/event allocation per scheduler,
@@ -115,6 +122,37 @@ where
         plan: FaultPlan,
         tracer: T,
     ) -> Self {
+        Self::with_policy_faults_tracer(nodes, cfg, plan, RandomAdversary::new(seed), tracer)
+    }
+}
+
+impl<P: Protocol, D: DeliveryPolicy> AsyncScheduler<P, NullTracer, D>
+where
+    P::Msg: Clone,
+{
+    /// Untraced scheduler driven by an explicit delivery policy.
+    pub fn with_policy(nodes: Vec<P>, cfg: AsyncConfig, policy: D) -> Self {
+        Self::with_policy_faults_tracer(nodes, cfg, FaultPlan::none(), policy, NullTracer)
+    }
+
+    /// Untraced scheduler with both a delivery policy and a fault plan.
+    pub fn with_policy_faults(nodes: Vec<P>, cfg: AsyncConfig, plan: FaultPlan, policy: D) -> Self {
+        Self::with_policy_faults_tracer(nodes, cfg, plan, policy, NullTracer)
+    }
+}
+
+impl<P: Protocol, T: Tracer, D: DeliveryPolicy> AsyncScheduler<P, T, D>
+where
+    P::Msg: Clone,
+{
+    /// The fully general constructor: policy, fault plan, and event sink.
+    pub fn with_policy_faults_tracer(
+        nodes: Vec<P>,
+        cfg: AsyncConfig,
+        plan: FaultPlan,
+        policy: D,
+        tracer: T,
+    ) -> Self {
         let n = nodes.len();
         let faults = FaultState::new(plan, n);
         // Maturity only needs indexing when ready times can differ from
@@ -127,11 +165,21 @@ where
             faults,
             metrics: Metrics::new(n),
             tracer,
-            rng: DetRng::new(seed),
+            policy,
             cfg,
             step: 0,
             bufs: CtxBufs::default(),
         }
+    }
+
+    /// The delivery policy.
+    pub fn policy(&self) -> &D {
+        &self.policy
+    }
+
+    /// Mutable access to the delivery policy (e.g. to read a decision log).
+    pub fn policy_mut(&mut self) -> &mut D {
+        &mut self.policy
     }
 
     /// The fault layer's state (plan, down map, injection counters).
@@ -189,9 +237,32 @@ where
         self.in_flight.len()
     }
 
+    /// Number of in-flight messages a [`DeliveryPolicy`] may pick from at
+    /// this instant: all of them without a fault plan, only the mature
+    /// ones with one. This is the `eligible` that the next non-sweep,
+    /// non-forced [`step_once`](Self::step_once) will pass to the policy.
+    pub fn eligible_now(&self) -> usize {
+        if self.faults.active() {
+            self.in_flight.eligible_count()
+        } else {
+            self.in_flight.len()
+        }
+    }
+
+    /// Iterate over all in-flight envelopes in slot order — used by the
+    /// model checker to fingerprint the channel state.
+    pub fn in_flight_iter(&self) -> impl Iterator<Item = &Envelope<P::Msg>> {
+        self.in_flight.iter()
+    }
+
     /// Adversary steps taken so far.
     pub fn steps(&self) -> u64 {
         self.step
+    }
+
+    /// The adversary configuration this scheduler runs under.
+    pub fn config(&self) -> &AsyncConfig {
+        &self.cfg
     }
 
     fn run_node<F: FnOnce(&mut P, &mut Ctx<P::Msg>)>(&mut self, i: usize, f: F) {
@@ -325,34 +396,33 @@ where
             }
         }
         if !self.faults.active() {
-            let deliver = !self.in_flight.is_empty()
-                && (self.rng.chance(self.cfg.deliver_bias) || self.nodes.is_empty());
-            if deliver {
-                // swap_remove of a uniform index = non-FIFO fair delivery.
-                let idx = self.rng.below(self.in_flight.len() as u64) as usize;
-                self.deliver_at(idx);
-            } else {
-                let i = self.rng.below(self.nodes.len() as u64) as usize;
-                self.activate(i);
+            // Without a fault plan every in-flight message is eligible.
+            match self
+                .policy
+                .decide(self.in_flight.len(), self.nodes.len(), &self.cfg)
+            {
+                // swap_remove of the chosen index = non-FIFO fair delivery.
+                StepChoice::Deliver(k) => self.deliver_at(k),
+                StepChoice::Activate(i) => self.activate(i),
             }
             return;
         }
         // Fault-aware path: only mature messages are eligible for the
-        // uniform delivery pick, and a crashed node's activation turn is
-        // consumed doing nothing (fail-pause). The k-th-eligible select
-        // reproduces the retired linear scan's `eligible[k]` exactly, so
-        // the adversary's choices — and the pinned golden traces — are
+        // delivery pick, and a crashed node's activation turn is consumed
+        // doing nothing (fail-pause). The k-th-eligible select reproduces
+        // the retired linear scan's `eligible[k]` exactly, so the random
+        // adversary's choices — and the pinned golden traces — are
         // unchanged.
         let eligible = self.in_flight.eligible_count();
-        let deliver =
-            eligible > 0 && (self.rng.chance(self.cfg.deliver_bias) || self.nodes.is_empty());
-        if deliver {
-            let k = self.rng.below(eligible as u64) as usize;
-            self.deliver_at(self.in_flight.pick_eligible(k));
-        } else {
-            let i = self.rng.below(self.nodes.len() as u64) as usize;
-            if !self.faults.is_down(NodeId(i as u64)) {
-                self.activate(i);
+        match self.policy.decide(eligible, self.nodes.len(), &self.cfg) {
+            StepChoice::Deliver(k) => {
+                let idx = self.in_flight.pick_eligible(k);
+                self.deliver_at(idx);
+            }
+            StepChoice::Activate(i) => {
+                if !self.faults.is_down(NodeId(i as u64)) {
+                    self.activate(i);
+                }
             }
         }
     }

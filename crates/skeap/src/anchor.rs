@@ -287,6 +287,29 @@ pub fn decompose(assigns: &[EntryAssign], parts: &[&Batch]) -> Vec<Vec<EntryAssi
     out
 }
 
+impl dpq_core::StateHash for EntryAssign {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        self.ins.state_hash(h);
+        self.ins_seq.state_hash(h);
+        self.del.state_hash(h);
+        h.write_u64(self.bottom);
+        self.del_seq.state_hash(h);
+        h.write_u64(self.lifo as u64);
+    }
+}
+
+impl dpq_core::StateHash for AnchorState {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        h.write_u64(match self.discipline {
+            Discipline::Fifo => 0,
+            Discipline::Lifo => 1,
+        });
+        self.next.state_hash(h);
+        self.live.state_hash(h);
+        h.write_u64(self.witness);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

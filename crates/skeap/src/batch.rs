@@ -147,6 +147,20 @@ impl BitSize for Batch {
     }
 }
 
+impl dpq_core::StateHash for BatchEntry {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        self.ins.state_hash(h);
+        h.write_u64(self.del);
+    }
+}
+
+impl dpq_core::StateHash for Batch {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        h.write_u64(self.n_prios as u64);
+        self.entries.state_hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

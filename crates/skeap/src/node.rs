@@ -282,6 +282,13 @@ impl SkeapNode {
                 OpKind::DeleteMin => {
                     let (w, rest) = g.del_seq.take_prefix(1);
                     g.del_seq = rest;
+                    // Seeded bug for the model checker's mutation smoke
+                    // test: clearing the low bit of the delete witness
+                    // collides adjacent witnesses, which the replay oracle
+                    // must catch (never compiled into normal builds).
+                    #[cfg(mc_mutate)]
+                    self.history.witness(*id, w.lo & !1);
+                    #[cfg(not(mc_mutate))]
                     self.history.witness(*id, w.lo);
                     let (one, rest) = g.del.take_prefix_dir(1, g.lifo);
                     g.del = rest;
@@ -383,5 +390,30 @@ impl Protocol for SkeapNode {
 
     fn done(&self) -> bool {
         self.buffer.is_empty() && self.client.idle() && self.all_complete()
+    }
+}
+
+impl dpq_core::StateHash for SkeapNode {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        // `view` and `cfg` are static per scenario and excluded; everything
+        // that evolves along an execution is written.
+        self.history.state_hash(h);
+        self.buffer.state_hash(h);
+        h.write_u64(self.elem_seq);
+        h.write_u64(self.cycle);
+        h.write_u64(self.snapshotted as u64);
+        self.snapshot.state_hash(h);
+        h.write_u64(self.groups.len() as u64);
+        for g in &self.groups {
+            h.write_u64(*g as u64);
+        }
+        self.own_batch.state_hash(h);
+        self.collector.state_hash(h);
+        self.sub_batches.state_hash(h);
+        h.write_u64(self.sent_up as u64);
+        self.early.state_hash(h);
+        self.anchor.state_hash(h);
+        self.shard.state_hash(h);
+        self.client.state_hash(h);
     }
 }

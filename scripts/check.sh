@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo-wide quality gate. Run before pushing; CI runs the same steps.
 #
-#   ./scripts/check.sh        # fmt + clippy + build + tests + fault smoke
-#   ./scripts/check.sh perf   # the above, plus the performance tier
+#   ./scripts/check.sh           # fmt + clippy + build + tests + fault smoke
+#   ./scripts/check.sh perf      # the above, plus the performance tier
+#   ./scripts/check.sh mc        # the above, plus schedule-space model checking
+#   ./scripts/check.sh coverage  # the above, plus per-crate coverage floors
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +14,19 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+
+# Proptest regression hygiene: every *committed* seed in
+# tests/*.proptest-regressions is replayed by tests/regressions.rs (part of
+# the test step above). An *uncommitted* entry means a property failed
+# locally and its seed was neither fixed nor committed with a replay —
+# refuse to pass until it is dealt with.
+if [ -n "$(git status --porcelain -- 'tests/*.proptest-regressions')" ]; then
+  echo "error: uncommitted proptest regression entries:" >&2
+  git status --porcelain -- 'tests/*.proptest-regressions' >&2
+  echo "fix the failing property, or commit the seed together with a replay" >&2
+  echo "arm in tests/regressions.rs" >&2
+  exit 1
+fi
 
 # Fault-matrix smoke tier: the E16 recovery table driven through a custom
 # TOML plan — exercises the --faults parsing and the fault-injection path
@@ -27,4 +42,49 @@ cargo run -q -p dpq-bench --release --bin experiments -- e16 --faults scripts/fa
 if [ "$TIER" = "perf" ]; then
   cargo bench -q -p dpq-bench --bench sched_step
   cargo run -q -p dpq-bench --release --bin perf -- --check BENCH_pr3.json
+fi
+
+# Model-checking tier (opt-in: `./scripts/check.sh mc`): bounded DFS over
+# message-delivery interleavings plus seeded random walks, per scenario.
+# The clean scenarios carry the coverage bar — at least 10k distinct
+# schedules per protocol, zero violations; the drops scenarios add
+# fault-path interleavings at a smaller budget. Then the mutation smoke: a
+# seeded witness bug (compiled only under --cfg mc_mutate, in a separate
+# target dir so caches stay intact) must be found, shrunk to at most 15
+# delivery decisions, and reproduced bit-for-bit from schedule.json.
+# Budgets are tuned to keep the whole tier under five minutes in release;
+# see docs/TESTING.md for the tier's reproduction recipes.
+if [ "$TIER" = "mc" ]; then
+  MC=target/release/dpq-mc
+  "$MC" explore --scenario skeap_clean \
+    --max-depth 26 --max-branch 5 --runs 60000 --walks 5000 --min-distinct 10000
+  "$MC" explore --scenario seap_clean \
+    --max-depth 22 --max-branch 4 --runs 30000 --walks 3000 --min-distinct 10000
+  "$MC" explore --scenario kselect_clean \
+    --max-depth 22 --max-branch 4 --runs 30000 --walks 3000 --min-distinct 10000
+  "$MC" explore --scenario skeap_drops \
+    --max-depth 12 --max-branch 4 --runs 4000 --walks 400
+  "$MC" explore --scenario seap_drops \
+    --max-depth 12 --max-branch 4 --runs 4000 --walks 400
+  "$MC" explore --scenario kselect_drops \
+    --max-depth 10 --max-branch 3 --runs 1500 --walks 200
+  mkdir -p target/mc-mutate
+  CARGO_TARGET_DIR=target/mc-mutate RUSTFLAGS="--cfg mc_mutate" \
+    cargo run -q -p dpq-mc --release --bin dpq-mc -- \
+    smoke --scenario skeap_clean --max-shrunk 15 --out target/mc-mutate/schedule.json
+fi
+
+# Coverage tier (opt-in: `./scripts/check.sh coverage`): per-crate line
+# coverage against the floors committed in scripts/coverage-floors.txt
+# (warn-only for dpq-bench), snapshot written to COVERAGE_pr4.json next to
+# BENCH_pr3.json. Requires cargo-llvm-cov; when it is not installed (e.g.
+# offline containers) the tier warns and skips rather than failing.
+if [ "$TIER" = "coverage" ]; then
+  if command -v cargo-llvm-cov >/dev/null 2>&1; then
+    cargo llvm-cov --workspace --json --output-path COVERAGE_pr4.json
+    python3 scripts/coverage_floor.py COVERAGE_pr4.json scripts/coverage-floors.txt
+  else
+    echo "warning: cargo-llvm-cov not installed; skipping the coverage tier" >&2
+    echo "         (cargo install cargo-llvm-cov, then re-run)" >&2
+  fi
 fi

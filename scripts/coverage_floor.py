@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check per-crate line coverage against the committed floors.
+
+Usage: coverage_floor.py COVERAGE.json [floors.txt]
+
+COVERAGE.json is a `cargo llvm-cov --workspace --json` export. Files are
+grouped by their `crates/<dir>/` component and each group's line coverage
+is compared against the floor committed in scripts/coverage-floors.txt
+(format: `<dir> <floor-percent> [warn]`; `warn` makes the floor advisory).
+Exits non-zero if any non-advisory crate is below its floor.
+"""
+
+import collections
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    cov_path = sys.argv[1]
+    floors_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(__file__), "coverage-floors.txt")
+    )
+
+    with open(cov_path) as f:
+        data = json.load(f)
+
+    # dir -> [covered lines, total lines]
+    per = collections.defaultdict(lambda: [0, 0])
+    for export in data.get("data", []):
+        for entry in export.get("files", []):
+            name = entry.get("filename", "")
+            if "crates/" not in name:
+                continue
+            crate_dir = name.split("crates/", 1)[1].split("/", 1)[0]
+            lines = entry.get("summary", {}).get("lines", {})
+            per[crate_dir][0] += lines.get("covered", 0)
+            per[crate_dir][1] += lines.get("count", 0)
+
+    failed = False
+    with open(floors_path) as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            crate_dir, floor = parts[0], float(parts[1])
+            warn_only = len(parts) > 2 and parts[2] == "warn"
+            covered, count = per.get(crate_dir, (0, 0))
+            pct = 100.0 * covered / count if count else 0.0
+            if pct >= floor:
+                status = "ok"
+            elif warn_only:
+                status = "WARN (advisory)"
+            else:
+                status = "FAIL"
+                failed = True
+            print(f"{crate_dir:12} {pct:6.2f}% lines  (floor {floor:5.1f}%)  {status}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,6 +149,128 @@ fn mixed_workloads_agree_on_aggregates() {
     }
 }
 
+/// On an identical constant-priority workload driven *serially* (one op
+/// completes cluster-wide before the next is issued, round-robin across
+/// nodes, at most one live element per priority class), Skeap's and Seap's
+/// replayed sequential histories — completed ops sorted by witness — must
+/// agree element-for-element: the i-th delete removes the same element
+/// (same `ElemId`, same payload) in both. The workload shape makes every
+/// pop uniquely determined, so the protocols' different tie-breaks (Skeap:
+/// FIFO insertion ≺-order; Seap: composite-key order) never engage and any
+/// divergence is a real serialization bug, not a discipline difference.
+/// Both protocols compose `ElemId` from `(node, seq)`, so element identity
+/// is exact.
+#[test]
+fn sequential_histories_agree_element_for_element() {
+    const N: usize = 4;
+    const N_PRIOS: usize = 3;
+    const SEED: u64 = 2718;
+
+    /// The serial script: (issuing node, op). Deterministic in SEED via a
+    /// splitmix-style walk; keeps ≤1 live element per priority class by
+    /// inserting the first free class and deleting once all are occupied,
+    /// then drains.
+    fn script() -> Vec<(usize, dpq::core::OpKind)> {
+        let mut ops = Vec::new();
+        let mut live = [false; N_PRIOS];
+        let mut x = SEED;
+        let mut rng = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in 0..30 {
+            let node = (rng() % N as u64) as usize;
+            let free = live.iter().position(|l| !l);
+            // Bias toward inserting while classes are free; delete otherwise.
+            if let Some(p) = free.filter(|_| rng() % 4 != 0 || !live.iter().any(|l| *l)) {
+                live[p] = true;
+                ops.push((
+                    node,
+                    dpq::core::OpKind::Insert(dpq::core::Element::new(
+                        dpq::core::ElemId(u64::MAX), // assigned by the node
+                        dpq::core::Priority(p as u64),
+                        1000 + i,
+                    )),
+                ));
+            } else {
+                let min = live.iter().position(|l| *l).expect("checked non-empty");
+                live[min] = false;
+                ops.push((node, dpq::core::OpKind::DeleteMin));
+            }
+        }
+        for l in live.iter_mut().filter(|l| **l) {
+            *l = false;
+            ops.push((0, dpq::core::OpKind::DeleteMin));
+        }
+        ops
+    }
+
+    /// The witness-ordered delete sequence: which element each successive
+    /// delete of the serialization removed.
+    fn drain_sequence(h: &History) -> Vec<(u64, dpq::core::ElemId, u64)> {
+        let mut ops: Vec<_> = h.records().collect();
+        ops.sort_by_key(|r| r.witness.expect("incomplete op in drained history"));
+        ops.iter()
+            .filter_map(|r| match r.ret {
+                Some(OpReturn::Removed(e)) => Some((e.prio.0, e.id, e.payload)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    let serial_ops = script();
+
+    let mut s = SyncScheduler::new(skeap::cluster::build(N, N_PRIOS, SEED));
+    for &(node, op) in &serial_ops {
+        match op {
+            dpq::core::OpKind::Insert(e) => {
+                s.nodes_mut()[node].issue_insert(e.prio.0, e.payload);
+            }
+            dpq::core::OpKind::DeleteMin => {
+                s.nodes_mut()[node].issue_delete();
+            }
+        }
+        assert!(s
+            .run_until_pred(200_000, |ns| ns.iter().all(skeap::SkeapNode::all_complete))
+            .is_quiescent());
+    }
+    let skeap_h = skeap::cluster::history(s.nodes());
+    dpq::semantics::replay(&skeap_h, dpq::semantics::ReplayMode::Fifo).unwrap();
+    let skeap_seq = drain_sequence(&skeap_h);
+
+    let mut s = SyncScheduler::new(seap::cluster::build(N, SEED));
+    for &(node, op) in &serial_ops {
+        match op {
+            dpq::core::OpKind::Insert(e) => {
+                s.nodes_mut()[node].issue_insert(e.prio.0, e.payload);
+            }
+            dpq::core::OpKind::DeleteMin => {
+                s.nodes_mut()[node].issue_delete();
+            }
+        }
+        assert!(s
+            .run_until_pred(500_000, |ns| ns.iter().all(seap::SeapNode::all_complete))
+            .is_quiescent());
+    }
+    let seap_h = seap::cluster::history(s.nodes());
+    seap::checker::check_seap_history(&seap_h).unwrap();
+    let seap_seq = drain_sequence(&seap_h);
+
+    let deletes = serial_ops.iter().filter(|(_, op)| !op.is_insert()).count();
+    assert_eq!(
+        skeap_seq.len(),
+        deletes,
+        "a delete hit ⊥ despite the live-set invariant"
+    );
+    assert_eq!(
+        skeap_seq, seap_seq,
+        "Skeap and Seap serialize the same serial workload differently"
+    );
+}
+
 /// The facade crate re-exports the whole API surface.
 #[test]
 fn facade_paths_work() {
