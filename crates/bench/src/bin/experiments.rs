@@ -21,6 +21,13 @@
 //! and results are collected by cell index, so the printed tables and the
 //! CSV files are byte-identical for any N — `--jobs 1` if you want the
 //! timing columns of a strictly sequential run.
+//!
+//! `--metrics <path>` writes the telemetry stream: the instrumented
+//! experiments (E2, E10, E16) run with a `dpq_sim::Hub` attached, fold the
+//! shard-local hubs in cell index order, and emit one JSON line each —
+//! op-latency/message-size quantiles, per-kind message totals, transport
+//! and fault counters. The file is JSONL and byte-identical for any
+//! `--jobs`.
 
 use dpq_bench::ExpOpts;
 use std::path::PathBuf;
@@ -29,6 +36,7 @@ use std::time::Instant;
 fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut opts = ExpOpts::default();
+    let mut metrics_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace" {
@@ -36,6 +44,14 @@ fn main() {
                 Some(p) => opts.trace = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--metrics" {
+            match args.next() {
+                Some(p) => metrics_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--metrics requires a path");
                     std::process::exit(2);
                 }
             }
@@ -93,6 +109,7 @@ fn main() {
     {
         eprintln!("note: --trace names one file; each traced experiment overwrites it");
     }
+    let mut metrics_lines: Vec<String> = Vec::new();
     for (id, run) in selected {
         let t0 = Instant::now();
         let table = run(&opts);
@@ -100,6 +117,21 @@ fn main() {
         println!("  ({} finished in {:.1?})\n", id, t0.elapsed());
         if let Err(e) = table.write_csv(&out_dir) {
             eprintln!("  ! could not write results/{id}.csv: {e}");
+        }
+        metrics_lines.extend(table.metrics_lines);
+    }
+    if let Some(path) = metrics_path {
+        let mut body = metrics_lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!(
+                "  metrics: {} lines -> {}",
+                metrics_lines.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("  ! could not write metrics {}: {e}", path.display()),
         }
     }
 }

@@ -20,12 +20,13 @@ const RTO: u64 = 8;
 const OPS: usize = 3;
 const SEEDS: u64 = 3;
 
-fn run_cell(n: usize, seed: u64, plan: FaultPlan) -> cluster::FaultyRun {
+fn run_cell(n: usize, seed: u64, plan: FaultPlan) -> (cluster::FaultyRun, dpq_sim::Hub) {
     let spec = WorkloadSpec::balanced(n, OPS, 3, seed);
-    let r = cluster::run_sync_faulty(&spec, 3, 4_000_000, plan, RTO);
+    let (r, hub) =
+        cluster::run_sync_faulty_telemetry(&spec, 3, 4_000_000, plan, RTO, dpq_sim::Hub::new());
     assert!(r.completed, "faulty run stalled (n={n}, seed={seed})");
     replay(&r.history, ReplayMode::Fifo).expect("witness replay under faults");
-    r
+    (r, hub)
 }
 
 /// E16 — recovery latency by fault cell, plus the crash-recovery shape.
@@ -44,6 +45,8 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
             "over clean",
             "op p50",
             "op p95",
+            "op p99",
+            "op p999",
             "op max",
             "dropped",
             "retx",
@@ -56,7 +59,9 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
     // Sweep 1: clean (transport-wrapped, fault-free) baselines per n.
     let clean_ns: Vec<usize> = if custom { vec![n] } else { shape_ns.to_vec() };
     let clean_cells = crate::runner::sweep(clean_ns.len() * S, |c| {
-        run_cell(clean_ns[c / S], 1600 + (c % S) as u64, FaultPlan::none()).time as f64
+        run_cell(clean_ns[c / S], 1600 + (c % S) as u64, FaultPlan::none())
+            .0
+            .time as f64
     });
     let clean = |cn: usize| -> f64 {
         let i = clean_ns
@@ -93,24 +98,31 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
         );
         plans.push(("drop5+dup5+crash (shape)".into(), sn, plan));
     }
-    let runs = crate::runner::sweep(plans.len() * S, |c| {
+    let swept = crate::runner::sweep(plans.len() * S, |c| {
         let (_, pn, plan) = &plans[c / S];
         run_cell(*pn, 1600 + (c % S) as u64, plan.clone())
     });
+    // Shard-local hubs fold into one experiment-wide hub in cell index
+    // order, so the metrics stream is byte-identical for any --jobs.
+    let mut exp_hub = dpq_sim::Hub::new();
+    for (_, hub) in &swept {
+        exp_hub.merge(hub);
+    }
+    let runs: Vec<_> = swept.iter().map(|(r, _)| r).collect();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for (pi, (name, pn, _)) in plans.iter().enumerate() {
         let mut rounds = Vec::new();
-        let mut lats = Vec::new();
+        let mut lats = dpq_sim::LogHistogram::new();
         let (mut dropped, mut retx) = (0u64, 0u64);
         for r in &runs[pi * S..(pi + 1) * S] {
             rounds.push(r.time as f64);
-            lats.extend_from_slice(&r.latencies);
+            lats.merge(&r.latency_hist);
             dropped += r.faults.dropped();
             retx += r.retransmits;
         }
         let m = mean(&rounds);
-        let lat = LatencySummary::from_samples(&lats);
+        let lat = LatencySummary::from_histogram(&lats);
         let over = m - clean(*pn);
         if pi >= cells.len() {
             xs.push(*pn as f64);
@@ -123,6 +135,8 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
             f(over),
             lat.p50.to_string(),
             lat.p95.to_string(),
+            lat.p99.to_string(),
+            lat.p999.to_string(),
             lat.max.to_string(),
             dropped.to_string(),
             retx.to_string(),
@@ -146,6 +160,10 @@ pub fn e16_fault_recovery(opts: &crate::ExpOpts) -> Table {
     t.note(format!(
         "clean baseline (transport-wrapped, no faults): {} rounds at n = {n}",
         f(base)
+    ));
+    t.metrics_line(format!(
+        "{{\"experiment\":\"e16\",\"metrics\":{}}}",
+        dpq_sim::hub_to_json(&exp_hub)
     ));
     t
 }

@@ -25,6 +25,8 @@ pub fn e5_costs(opts: &crate::ExpOpts) -> Table {
             "max msg bits",
             "sel p50",
             "sel p95",
+            "sel p99",
+            "sel p999",
             "sel max",
         ],
     );
@@ -95,6 +97,8 @@ pub fn e5_costs(opts: &crate::ExpOpts) -> Table {
             bits.to_string(),
             lat.p50.to_string(),
             lat.p95.to_string(),
+            lat.p99.to_string(),
+            lat.p999.to_string(),
             lat.max.to_string(),
         ]);
     }

@@ -53,6 +53,8 @@ pub fn e10_costs(opts: &crate::ExpOpts) -> Table {
             "max msg bits",
             "op p50",
             "op p95",
+            "op p99",
+            "op p999",
             "op max",
         ],
     );
@@ -62,30 +64,42 @@ pub fn e10_costs(opts: &crate::ExpOpts) -> Table {
     let mut ys = Vec::new();
     const NS: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
     const SEEDS: usize = 3;
+    // Cells carry telemetry hubs, folded into one experiment-wide hub in
+    // cell index order (byte-identical metrics stream for any --jobs).
     let cells = crate::runner::sweep(NS.len() * SEEDS, |c| {
         let n = NS[c / SEEDS];
         let s = (c % SEEDS) as u64;
         let spec = WorkloadSpec::balanced(n, 4, 1 << 24, 510 + s);
-        let (run, trace) = if traced {
-            let (run, tracer) = cluster::run_sync_traced(&spec, 3_000_000, crate::control_tracer());
+        let (run, trace, hub) = if traced {
+            let (run, tracer, hub) = cluster::run_sync_instrumented(
+                &spec,
+                3_000_000,
+                crate::control_tracer(),
+                dpq_sim::Hub::new(),
+            );
             let label = format!("e10 n={n} seed={}", 510 + s);
-            (run, Some((label, tracer.into_events())))
+            (run, Some((label, tracer.into_events())), hub)
         } else {
-            (cluster::run_sync(&spec, 3_000_000), None)
+            let (run, hub) = cluster::run_sync_telemetry(&spec, 3_000_000, dpq_sim::Hub::new());
+            (run, None, hub)
         };
         assert!(run.completed);
         check_seap_history(&run.history).expect("semantics hold");
-        (run, trace)
+        (run, trace, hub)
     });
+    let mut exp_hub = dpq_sim::Hub::new();
+    for (_, _, hub) in &cells {
+        exp_hub.merge(hub);
+    }
     for (ni, &n) in NS.iter().enumerate() {
         let group = &cells[ni * SEEDS..(ni + 1) * SEEDS];
         if let Some(ct) = chrome.as_mut() {
-            for (_, trace) in group {
+            for (_, trace, _) in group {
                 let (label, events) = trace.as_ref().expect("traced cell kept its events");
                 ct.add_run(label, events);
             }
         }
-        let runs: Vec<_> = group.iter().map(|(r, _)| r).collect();
+        let runs: Vec<_> = group.iter().map(|(r, _, _)| r).collect();
         let rounds = mean(&runs.iter().map(|r| r.rounds as f64).collect::<Vec<_>>());
         let cong = mean(
             &runs
@@ -94,11 +108,11 @@ pub fn e10_costs(opts: &crate::ExpOpts) -> Table {
                 .collect::<Vec<_>>(),
         );
         let bits = runs.iter().map(|r| r.metrics.max_msg_bits).max().unwrap();
-        let lats: Vec<u64> = runs
-            .iter()
-            .flat_map(|r| r.latencies.iter().copied())
-            .collect();
-        let lat = dpq_sim::LatencySummary::from_samples(&lats);
+        let mut lats = dpq_sim::LogHistogram::new();
+        for r in &runs {
+            lats.merge(&r.latency_hist);
+        }
+        let lat = dpq_sim::LatencySummary::from_histogram(&lats);
         xs.push(n as f64);
         ys.push(rounds);
         t.row(vec![
@@ -109,6 +123,8 @@ pub fn e10_costs(opts: &crate::ExpOpts) -> Table {
             bits.to_string(),
             lat.p50.to_string(),
             lat.p95.to_string(),
+            lat.p99.to_string(),
+            lat.p999.to_string(),
             lat.max.to_string(),
         ]);
     }
@@ -120,6 +136,10 @@ pub fn e10_costs(opts: &crate::ExpOpts) -> Table {
         r2
     ));
     t.note("op latency = rounds from injection to completion, pooled over the 3 seeds");
+    t.metrics_line(format!(
+        "{{\"experiment\":\"e10\",\"metrics\":{}}}",
+        dpq_sim::hub_to_json(&exp_hub)
+    ));
     crate::write_trace(opts, chrome, "e10");
     t
 }

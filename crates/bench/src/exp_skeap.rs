@@ -71,6 +71,8 @@ pub fn e2_rounds(opts: &crate::ExpOpts) -> Table {
             "rounds/log2(n)",
             "op p50",
             "op p95",
+            "op p99",
+            "op p999",
             "op max",
         ],
     );
@@ -83,40 +85,57 @@ pub fn e2_rounds(opts: &crate::ExpOpts) -> Table {
     // (n, seed) cells run in parallel; traced cells return their event logs
     // so the Chrome trace is assembled in cell order below (identical file
     // for any --jobs).
+    // Every cell rides with its own telemetry hub; hubs merge exactly, so
+    // the shard-local histograms fold into one experiment-wide hub in cell
+    // index order below (byte-identical stream for any --jobs).
     let cells = crate::runner::sweep(NS.len() * SEEDS, |c| {
         let n = NS[c / SEEDS];
         let s = (c % SEEDS) as u64;
         let spec = WorkloadSpec::balanced(n, 4, 2, 500 + s);
         if traced {
-            let (run, tracer) =
-                cluster::run_sync_traced(&spec, 2, 2_000_000, crate::control_tracer());
+            let (run, tracer, hub) = cluster::run_sync_instrumented(
+                &spec,
+                2,
+                2_000_000,
+                crate::control_tracer(),
+                dpq_sim::Hub::new(),
+            );
             let label = format!("e2 n={n} seed={}", 500 + s);
-            (run, Some((label, tracer.into_events())))
+            (run, Some((label, tracer.into_events())), hub)
         } else {
-            (cluster::run_sync(&spec, 2, 2_000_000), None)
+            let (run, hub) = cluster::run_sync_telemetry(&spec, 2, 2_000_000, dpq_sim::Hub::new());
+            (run, None, hub)
         }
     });
+    let mut exp_hub = dpq_sim::Hub::new();
+    for (_, _, hub) in &cells {
+        exp_hub.merge(hub);
+    }
     for (ni, &n) in NS.iter().enumerate() {
         let mut rounds = Vec::new();
-        let mut lats = Vec::new();
-        for (run, trace) in &cells[ni * SEEDS..(ni + 1) * SEEDS] {
+        // Seeds pool their latency distributions by exact histogram merge —
+        // O(buckets) per seed instead of re-sorting every raw sample.
+        let mut lats = dpq_sim::LogHistogram::new();
+        for (run, trace, _) in &cells[ni * SEEDS..(ni + 1) * SEEDS] {
             assert!(run.completed);
             if let (Some(ct), Some((label, events))) = (chrome.as_mut(), trace.as_ref()) {
                 ct.add_run(label, events);
             }
             rounds.push(run.rounds as f64);
-            lats.extend_from_slice(&run.latencies);
+            lats.merge(&run.latency_hist);
         }
         let m = mean(&rounds);
         xs.push(n as f64);
         ys.push(m);
-        let lat = dpq_sim::LatencySummary::from_samples(&lats);
+        let lat = dpq_sim::LatencySummary::from_histogram(&lats);
         t.row(vec![
             n.to_string(),
             f(m),
             f(m / (n as f64).log2()),
             lat.p50.to_string(),
             lat.p95.to_string(),
+            lat.p99.to_string(),
+            lat.p999.to_string(),
             lat.max.to_string(),
         ]);
     }
@@ -128,6 +147,10 @@ pub fn e2_rounds(opts: &crate::ExpOpts) -> Table {
         r2
     ));
     t.note("op latency = rounds from injection to completion, pooled over the 3 seeds");
+    t.metrics_line(format!(
+        "{{\"experiment\":\"e2\",\"metrics\":{}}}",
+        dpq_sim::hub_to_json(&exp_hub)
+    ));
     crate::write_trace(opts, chrome, "e2");
     t
 }

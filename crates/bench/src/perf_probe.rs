@@ -10,7 +10,10 @@
 //! `BENCH_*.json`.
 
 use dpq_core::{BitSize, NodeId};
-use dpq_sim::{AsyncConfig, AsyncScheduler, Ctx, FaultPlan, Protocol, SyncScheduler};
+use dpq_sim::{
+    AsyncConfig, AsyncScheduler, Ctx, FaultPlan, Hub, NullTelemetry, NullTracer, Protocol,
+    RandomAdversary, SyncScheduler, Telemetry,
+};
 use std::time::Instant;
 
 /// Relay node: forwards every received token to the next node on the ring
@@ -85,11 +88,23 @@ pub const PROBE_INFLIGHT: u64 = 10_000;
 
 /// Measure async-scheduler throughput in steps/sec under `plan`.
 pub fn async_steps_per_sec(plan: FaultPlan, min_secs: f64) -> f64 {
-    let mut s = AsyncScheduler::with_faults(
+    async_steps_per_sec_with(plan, min_secs, NullTelemetry)
+}
+
+/// [`async_steps_per_sec`] with a live metrics hub attached — the "enabled"
+/// half of BENCH_pr6's telemetry-overhead pair.
+pub fn async_steps_per_sec_telemetry(plan: FaultPlan, min_secs: f64) -> f64 {
+    async_steps_per_sec_with(plan, min_secs, Hub::new())
+}
+
+fn async_steps_per_sec_with<M: Telemetry>(plan: FaultPlan, min_secs: f64, telemetry: M) -> f64 {
+    let mut s = AsyncScheduler::with_policy_faults_tracer_telemetry(
         relays(PROBE_NODES, PROBE_INFLIGHT),
-        1,
         AsyncConfig::default(),
         plan,
+        RandomAdversary::new(1),
+        NullTracer,
+        telemetry,
     );
     // Prime: one sweep activation emits the initial population.
     while (s.in_flight() as u64) < PROBE_INFLIGHT {
@@ -117,8 +132,22 @@ pub fn async_steps_per_sec(plan: FaultPlan, min_secs: f64) -> f64 {
 /// Measure sync-scheduler throughput in rounds/sec under `plan`. Every node
 /// relays its inbox each round, so each round moves ~`PROBE_NODES` messages.
 pub fn sync_rounds_per_sec(plan: FaultPlan, min_secs: f64) -> f64 {
+    sync_rounds_per_sec_with(plan, min_secs, NullTelemetry)
+}
+
+/// [`sync_rounds_per_sec`] with a live metrics hub attached.
+pub fn sync_rounds_per_sec_telemetry(plan: FaultPlan, min_secs: f64) -> f64 {
+    sync_rounds_per_sec_with(plan, min_secs, Hub::new())
+}
+
+fn sync_rounds_per_sec_with<M: Telemetry>(plan: FaultPlan, min_secs: f64, telemetry: M) -> f64 {
     let per_node = 8u64;
-    let mut s = SyncScheduler::with_faults(relays(PROBE_NODES, PROBE_NODES * per_node), plan);
+    let mut s = SyncScheduler::with_faults_tracer_telemetry(
+        relays(PROBE_NODES, PROBE_NODES * per_node),
+        plan,
+        NullTracer,
+        telemetry,
+    );
     s.step_round(); // emit the initial population
     let chunk = 2_000u64;
     let t0 = Instant::now();
@@ -236,6 +265,18 @@ pub fn measure_all() -> PerfMetrics {
         sync_clean_rounds_per_sec: sync_rounds_per_sec(FaultPlan::none(), secs),
         sync_faulty_rounds_per_sec: sync_rounds_per_sec(probe_plan(), secs),
     }
+}
+
+/// Measure the telemetry overhead pair: async clean steps/s with the no-op
+/// sink (`NullTelemetry`, the default everywhere) vs with a live
+/// [`dpq_sim::Hub`] recording every delivery. The clean async path is the
+/// hottest configuration, so it bounds the per-event cost of the hooks.
+pub fn measure_telemetry_pair() -> (f64, f64) {
+    let secs = 1.5;
+    (
+        async_steps_per_sec(FaultPlan::none(), secs),
+        async_steps_per_sec_telemetry(FaultPlan::none(), secs),
+    )
 }
 
 #[cfg(test)]

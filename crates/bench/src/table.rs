@@ -16,6 +16,10 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Interpretation: the fit, the verdict, caveats.
     pub notes: Vec<String>,
+    /// Metrics-stream lines (single-line JSON, one per aggregated telemetry
+    /// hub) that `experiments --metrics <path>` appends to its JSONL file.
+    /// Not part of [`Table::render`] or [`Table::csv`].
+    pub metrics_lines: Vec<String>,
 }
 
 impl Table {
@@ -27,6 +31,7 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            metrics_lines: Vec::new(),
         }
     }
 
@@ -39,6 +44,14 @@ impl Table {
     /// Append an interpretation note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Append a metrics-stream line. Callers pass single-line JSON (e.g.
+    /// [`dpq_sim::Hub`] rendered through `dpq_telemetry::hub_to_json`).
+    pub fn metrics_line(&mut self, s: impl Into<String>) {
+        let s = s.into();
+        debug_assert!(!s.contains('\n'), "metrics lines must be single-line");
+        self.metrics_lines.push(s);
     }
 
     /// Render for the terminal.

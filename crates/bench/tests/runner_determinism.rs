@@ -25,23 +25,32 @@ fn tables_are_byte_identical_for_any_job_count() {
         .filter(|(id, _)| SUBSET.contains(id))
         .collect();
     assert_eq!(exps.len(), SUBSET.len(), "subset names drifted");
+    let mut saw_metrics = false;
     for (id, run) in exps {
         let mut outputs = Vec::new();
         for jobs in [1usize, 2, 8] {
             runner::set_jobs(jobs);
             let t = run(&opts);
-            outputs.push((jobs, t.render(), t.csv()));
+            outputs.push((jobs, t.render(), t.csv(), t.metrics_lines));
         }
         runner::set_jobs(1);
-        let (_, seq_render, seq_csv) = &outputs[0];
-        for (jobs, render, csv) in &outputs[1..] {
+        let (_, seq_render, seq_csv, seq_metrics) = &outputs[0];
+        saw_metrics |= !seq_metrics.is_empty();
+        for (jobs, render, csv, metrics) in &outputs[1..] {
             assert_eq!(
                 render, seq_render,
                 "{id}: rendered table diverges at --jobs {jobs}"
             );
             assert_eq!(csv, seq_csv, "{id}: CSV diverges at --jobs {jobs}");
+            assert_eq!(
+                metrics, seq_metrics,
+                "{id}: telemetry stream diverges at --jobs {jobs}"
+            );
         }
     }
+    // The subset must exercise the hub-merge path (E16 carries a hub), or
+    // the metrics assertion above is vacuous.
+    assert!(saw_metrics, "no experiment in the subset emitted telemetry");
 }
 
 #[test]

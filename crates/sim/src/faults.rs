@@ -310,6 +310,21 @@ impl FaultStats {
     pub fn dropped(&self) -> u64 {
         self.dropped_chance + self.dropped_partition + self.dropped_crash
     }
+
+    /// The same counters as a telemetry [`FaultTotals`] mirror — the
+    /// schedulers push this into their `Telemetry` sink at window
+    /// boundaries so exposition output carries the fault-injection totals.
+    pub fn totals(&self) -> dpq_telemetry::FaultTotals {
+        dpq_telemetry::FaultTotals {
+            dropped_chance: self.dropped_chance,
+            dropped_partition: self.dropped_partition,
+            dropped_crash: self.dropped_crash,
+            duplicated: self.duplicated,
+            delayed: self.delayed,
+            crashes: self.crashes,
+            recoveries: self.recoveries,
+        }
+    }
 }
 
 /// Runtime state the schedulers drive: the plan, its private randomness, the

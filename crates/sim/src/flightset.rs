@@ -248,6 +248,14 @@ impl<M> FlightSet<M> {
         self.slots.is_empty()
     }
 
+    /// Events currently parked in the calendar wheels' overflow heaps —
+    /// deferrals beyond the wheel horizon. A telemetry gauge: persistent
+    /// nonzero spill means the wheel span is undersized for the workload's
+    /// delay distribution.
+    pub(crate) fn overflow_len(&self) -> usize {
+        self.mature_wheel.overflow.len() + self.overdue_wheel.overflow.len()
+    }
+
     /// All in-flight envelopes in slot order.
     pub(crate) fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
         self.slots.iter().map(|s| &s.env)

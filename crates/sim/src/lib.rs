@@ -45,3 +45,9 @@ pub use sched_sync::{RunOutcome, SyncScheduler};
 
 // Re-exported so drivers can plug in a sink without naming dpq-trace.
 pub use dpq_trace::{EventMask, NullTracer, RingTracer, TraceEvent, Tracer, VecTracer};
+
+// Likewise for dpq-telemetry: the streaming metrics layer.
+pub use dpq_telemetry::{
+    hub_to_json, prometheus_text, CounterId, FaultTotals, GaugeId, HistId, Hub, LogHistogram,
+    NullTelemetry, RingSeries, Telemetry,
+};

@@ -1,6 +1,6 @@
-//! Run metrics: rounds, congestion, message counts and sizes — now with
+//! Run metrics: rounds, congestion, message counts and sizes — with
 //! per-round time series, per-message-kind accounting, and per-operation
-//! latency tracking.
+//! latency tracking, all in **streaming constant memory**.
 //!
 //! The paper's cost measures (§1.1): *rounds* until an operation batch
 //! completes, *congestion* — "the maximum number of messages that need to be
@@ -8,16 +8,26 @@
 //! 5.5, Theorem 4.2). The schedulers update a [`Metrics`] instance as they
 //! run; experiments read a [`MetricsSnapshot`] afterwards, and can drill
 //! into [`Metrics::series`] (what did round 37 cost?), [`Metrics::kind_stats`]
-//! (which message family ate the bits?), and [`Metrics::latencies`] (how long
-//! did each operation take from injection to completion?).
+//! (which message family ate the bits?), and [`Metrics::latency_histogram`]
+//! (the full distribution of injection-to-completion latencies).
+//!
+//! Latencies land in a `dpq-telemetry` [`LogHistogram`] — O(1) record, fixed
+//! footprint, ≤1% relative quantile error — instead of an unbounded `Vec`,
+//! so a run's memory no longer grows with completed operations and
+//! [`Metrics::snapshot`] is O(buckets) instead of clone-and-sort
+//! O(n log n). The per-round series sits in a [`RingSeries`] that keeps the
+//! **newest** `series_capacity` rounds and reports how many older ones were
+//! evicted; windowed queries surface that truncation instead of silently
+//! answering over a different range (see [`RoundWindow::truncated_rounds`]).
 
 use dpq_core::{MsgKind, OpId};
+use dpq_telemetry::{LogHistogram, RingSeries};
 use std::collections::HashMap;
 
-/// Cap on the per-round series length. A run that exceeds it (only possible
-/// when a protocol stalls against a multi-million-round budget) keeps
-/// counting in the scalar totals but stops appending samples;
-/// [`Metrics::series_truncated`] reports how many rounds were dropped.
+/// Default cap on the per-round series window. A run that exceeds it (only
+/// possible when a protocol stalls against a multi-million-round budget)
+/// keeps the *newest* `SERIES_CAP` rounds; [`Metrics::series_truncated`]
+/// reports how many older samples were evicted.
 const SERIES_CAP: usize = 1 << 20;
 
 /// One round's (or async sweep window's) traffic.
@@ -46,22 +56,33 @@ pub struct KindStat {
 
 /// Order statistics over completed operation latencies (in rounds/steps).
 ///
-/// Percentiles use the nearest-rank method on the completed set; all fields
-/// are zero when no operation has completed.
+/// Percentiles use the nearest-rank method; all fields are zero when no
+/// operation has completed. Built either exactly from a raw sample slice
+/// ([`LatencySummary::from_samples`], the test oracle) or in O(buckets) from
+/// a streaming histogram ([`LatencySummary::from_histogram`], what the
+/// simulator reports — each percentile within ≤1% of the exact value, `max`
+/// exact).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
     /// Operations completed.
     pub count: u64,
     /// Median latency.
     pub p50: u64,
+    /// 90th-percentile latency.
+    pub p90: u64,
     /// 95th-percentile latency.
     pub p95: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+    /// 99.9th-percentile latency.
+    pub p999: u64,
     /// Maximum latency.
     pub max: u64,
 }
 
 impl LatencySummary {
-    /// Nearest-rank summary of a latency sample (need not be sorted).
+    /// Exact nearest-rank summary of a latency sample (need not be sorted).
+    /// O(n log n) — kept as the exact oracle for tests and small samples.
     pub fn from_samples(samples: &[u64]) -> LatencySummary {
         if samples.is_empty() {
             return LatencySummary::default();
@@ -75,14 +96,34 @@ impl LatencySummary {
         LatencySummary {
             count: sorted.len() as u64,
             p50: rank(0.50),
+            p90: rank(0.90),
             p95: rank(0.95),
+            p99: rank(0.99),
+            p999: rank(0.999),
             max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Summary of a streaming histogram — O(buckets), each percentile
+    /// within the histogram's documented ≤1% relative error, `max` exact.
+    pub fn from_histogram(h: &LogHistogram) -> LatencySummary {
+        if h.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: h.count(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+            max: h.max(),
         }
     }
 }
 
 /// Mutable counters owned by a scheduler.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Metrics {
     /// Rounds elapsed (synchronous scheduler only; async counts steps).
     pub rounds: u64,
@@ -98,24 +139,43 @@ pub struct Metrics {
     per_node_this_round: Vec<u64>,
     /// The current round's running sample (scratch space).
     this_round: RoundSample,
-    /// One sample per closed round, oldest first (capped at `SERIES_CAP`).
-    series: Vec<RoundSample>,
-    /// Rounds not recorded in `series` because the cap was hit.
-    series_truncated: u64,
+    /// The newest closed-round samples, oldest-retained first.
+    series: RingSeries<RoundSample>,
     /// Per-message-kind totals (few kinds; linear scan).
     kinds: Vec<KindStat>,
     /// Injection time of operations still awaiting completion.
     pending_ops: HashMap<OpId, u64>,
-    /// Completed operation latencies, in completion order.
-    latencies: Vec<u64>,
+    /// Completed-operation latency distribution (streaming, O(buckets)).
+    latency_hist: LogHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new(0)
+    }
 }
 
 impl Metrics {
-    /// Fresh counters for an `n`-node run.
+    /// Fresh counters for an `n`-node run (default series window).
     pub fn new(n: usize) -> Self {
+        Metrics::with_series_capacity(n, SERIES_CAP)
+    }
+
+    /// Fresh counters with an explicit per-round series window — tests pin
+    /// truncation behavior at a tiny cap without pushing 2²⁰ rounds.
+    pub fn with_series_capacity(n: usize, cap: usize) -> Self {
         Metrics {
+            rounds: 0,
+            messages: 0,
+            total_bits: 0,
+            max_msg_bits: 0,
+            congestion: 0,
             per_node_this_round: vec![0; n],
-            ..Default::default()
+            this_round: RoundSample::default(),
+            series: RingSeries::new(cap),
+            kinds: Vec::new(),
+            pending_ops: HashMap::new(),
+            latency_hist: LogHistogram::new(),
         }
     }
 
@@ -157,26 +217,35 @@ impl Metrics {
     }
 
     /// Close the current round: bump the round counter, append the round's
-    /// sample to the series, and reset the per-round scratch.
+    /// sample to the series window, and reset the per-round scratch.
     pub fn end_round(&mut self) {
         self.rounds += 1;
-        if self.series.len() < SERIES_CAP {
-            self.series.push(self.this_round);
-        } else {
-            self.series_truncated += 1;
-        }
+        self.series.push(self.this_round);
         self.this_round = RoundSample::default();
         self.per_node_this_round.fill(0);
     }
 
-    /// One sample per closed round, oldest first.
-    pub fn series(&self) -> &[RoundSample] {
-        &self.series
+    /// The retained closed-round samples, oldest-retained first. When the
+    /// series window has overflowed this is the **newest**
+    /// [`series_capacity`](Metrics::series_capacity) rounds — check
+    /// [`series_truncated`](Metrics::series_truncated) for evictions.
+    pub fn series(&self) -> Vec<RoundSample> {
+        self.series.to_vec()
     }
 
-    /// Rounds whose samples were dropped because the series cap was hit.
+    /// Closed rounds currently retained in the series window.
+    pub fn series_len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// The series window capacity.
+    pub fn series_capacity(&self) -> usize {
+        self.series.capacity()
+    }
+
+    /// Rounds whose samples were evicted because the series window was full.
     pub fn series_truncated(&self) -> u64 {
-        self.series_truncated
+        self.series.dropped()
     }
 
     /// Per-message-kind delivery totals, in first-seen order.
@@ -184,10 +253,10 @@ impl Metrics {
         &self.kinds
     }
 
-    /// Completed operation latencies (rounds from injection to completion),
-    /// in completion order.
-    pub fn latencies(&self) -> &[u64] {
-        &self.latencies
+    /// The completed-operation latency distribution: full quantile access
+    /// (p50/p90/p99/p999/max), exact merge across runs, O(buckets) memory.
+    pub fn latency_histogram(&self) -> &LogHistogram {
+        &self.latency_hist
     }
 
     /// Record that `op` entered the system at logical time `now`. Until a
@@ -196,12 +265,14 @@ impl Metrics {
         self.pending_ops.insert(op, now);
     }
 
-    /// Record that `op` produced its return value at logical time `now`.
-    /// Ops never noted as injected are ignored (protocol-internal traffic).
-    pub fn note_completed(&mut self, op: OpId, now: u64) {
-        if let Some(t0) = self.pending_ops.remove(&op) {
-            self.latencies.push(now.saturating_sub(t0));
-        }
+    /// Record that `op` produced its return value at logical time `now`,
+    /// returning the latency it contributed. Ops never noted as injected
+    /// return `None` and are ignored (protocol-internal traffic).
+    pub fn note_completed(&mut self, op: OpId, now: u64) -> Option<u64> {
+        let t0 = self.pending_ops.remove(&op)?;
+        let lat = now.saturating_sub(t0);
+        self.latency_hist.record(lat);
+        Some(lat)
     }
 
     /// Operations injected but not yet completed.
@@ -211,15 +282,25 @@ impl Metrics {
 
     /// True windowed statistics over the closed rounds `[from_round, rounds)`
     /// — including correct windowed *maxima*, which snapshot differencing
-    /// cannot provide. Rounds dropped by the series cap cannot be windowed;
-    /// the window silently starts at the oldest retained sample.
+    /// cannot provide. Rounds evicted from the series window cannot be
+    /// re-windowed: when `from_round` predates the oldest retained sample
+    /// the window covers only the retained suffix and
+    /// [`RoundWindow::truncated_rounds`] counts the requested rounds that
+    /// were lost, instead of silently re-basing the window.
     pub fn window(&self, from_round: u64) -> RoundWindow {
-        let skip = (from_round.min(self.rounds) as usize).min(self.series.len());
+        let from = from_round.min(self.rounds);
+        let first_retained = self.series.dropped();
+        let (skip, truncated) = if from >= first_retained {
+            ((from - first_retained) as usize, 0)
+        } else {
+            (0, first_retained - from)
+        };
         let mut w = RoundWindow {
-            rounds: self.series.len().saturating_sub(skip) as u64,
+            rounds: (self.series.len().saturating_sub(skip)) as u64,
+            truncated_rounds: truncated,
             ..Default::default()
         };
-        for s in &self.series[skip..] {
+        for s in self.series.iter().skip(skip) {
             w.messages += s.messages;
             w.total_bits += s.bits;
             w.congestion = w.congestion.max(s.congestion);
@@ -228,7 +309,8 @@ impl Metrics {
         w
     }
 
-    /// Immutable copy of the current counters.
+    /// Immutable copy of the current counters. O(buckets) — the latency
+    /// summary reads the streaming histogram; nothing is cloned or sorted.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             rounds: self.rounds,
@@ -236,15 +318,17 @@ impl Metrics {
             total_bits: self.total_bits,
             max_msg_bits: self.max_msg_bits,
             congestion: self.congestion,
-            latency: LatencySummary::from_samples(&self.latencies),
+            latency: LatencySummary::from_histogram(&self.latency_hist),
         }
     }
 
-    /// Forget everything but keep the node count (used to measure a window
-    /// of a longer run, e.g. one Skeap batch cycle after warm-up).
+    /// Forget everything but keep the node count and series window size
+    /// (used to measure a window of a longer run, e.g. one Skeap batch
+    /// cycle after warm-up).
     pub fn reset(&mut self) {
         let n = self.per_node_this_round.len();
-        *self = Metrics::new(n);
+        let cap = self.series.capacity();
+        *self = Metrics::with_series_capacity(n, cap);
     }
 }
 
@@ -306,8 +390,13 @@ impl MetricsSnapshot {
 /// [`MetricsSnapshot::since`], the maxima here are true window maxima.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundWindow {
-    /// Closed rounds in the window.
+    /// Closed rounds actually covered by the window.
     pub rounds: u64,
+    /// Requested rounds that could **not** be covered because the series
+    /// window had already evicted them — zero unless `from_round` predates
+    /// the oldest retained sample. Aggregates over a nonzero value are
+    /// partial; callers decide whether that is an error.
+    pub truncated_rounds: u64,
     /// Messages delivered in the window.
     pub messages: u64,
     /// Payload bits delivered in the window.
@@ -388,6 +477,7 @@ mod tests {
         m.end_round();
         let w = m.window(1);
         assert_eq!(w.rounds, 2);
+        assert_eq!(w.truncated_rounds, 0);
         assert_eq!(w.messages, 2);
         assert_eq!(w.total_bits, 10);
         assert_eq!(w.max_msg_bits, 7); // NOT the round-0 value 100
@@ -395,6 +485,34 @@ mod tests {
         let whole = m.window(0);
         assert_eq!(whole.max_msg_bits, 100);
         assert_eq!(whole.congestion, 2);
+    }
+
+    #[test]
+    fn window_surfaces_series_truncation() {
+        // Regression for the silent-mis-windowing bug: with the old
+        // oldest-first cap, `window(from)` after truncation quietly
+        // answered over whatever happened to be retained. Now the series
+        // keeps the newest samples and the window reports exactly how many
+        // requested rounds were lost.
+        let mut m = Metrics::with_series_capacity(1, 4);
+        for r in 0..10u64 {
+            m.on_deliver(0, r + 1, K); // round r delivers r+1 bits
+            m.end_round();
+        }
+        assert_eq!(m.rounds, 10);
+        assert_eq!(m.series_len(), 4);
+        assert_eq!(m.series_truncated(), 6);
+        // Rounds 6..10 are retained; asking from round 8 is fully covered.
+        let w = m.window(8);
+        assert_eq!((w.rounds, w.truncated_rounds), (2, 0));
+        assert_eq!(w.total_bits, 9 + 10);
+        // Asking from round 2 can only cover 6..10 and must say so.
+        let w = m.window(2);
+        assert_eq!((w.rounds, w.truncated_rounds), (4, 4));
+        assert_eq!(w.total_bits, 7 + 8 + 9 + 10);
+        assert_eq!(w.max_msg_bits, 10);
+        // A whole-run window reports every evicted round.
+        assert_eq!(m.window(0).truncated_rounds, 6);
     }
 
     #[test]
@@ -466,17 +584,16 @@ mod tests {
         let mut m = Metrics::new(1);
         m.note_injected(op(0), 2);
         m.note_injected(op(1), 2);
-        m.note_completed(op(0), 5);
+        assert_eq!(m.note_completed(op(0), 5), Some(3));
         // Unknown op: ignored.
-        m.note_completed(op(99), 9);
-        assert_eq!(m.latencies(), &[3]);
+        assert_eq!(m.note_completed(op(99), 9), None);
+        assert_eq!(m.latency_histogram().count(), 1);
         assert_eq!(m.pending_ops(), 1);
-        m.note_completed(op(1), 12);
-        assert_eq!(m.latencies(), &[3, 10]);
+        assert_eq!(m.note_completed(op(1), 12), Some(10));
         let s = m.snapshot().latency;
         assert_eq!(s.count, 2);
         assert_eq!(s.p50, 3);
-        assert_eq!(s.p95, 10);
+        assert_eq!((s.p95, s.p99, s.p999), (10, 10, 10));
         assert_eq!(s.max, 10);
     }
 
@@ -486,16 +603,36 @@ mod tests {
         let s = LatencySummary::from_samples(&samples);
         assert_eq!(s.count, 100);
         assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
         assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.p999, 100);
         assert_eq!(s.max, 100);
         assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
         let one = LatencySummary::from_samples(&[7]);
-        assert_eq!((one.p50, one.p95, one.max), (7, 7, 7));
+        assert_eq!((one.p50, one.p99, one.max), (7, 7, 7));
     }
 
     #[test]
-    fn reset_clears_counters_but_keeps_width() {
-        let mut m = Metrics::new(2);
+    fn histogram_summary_matches_exact_on_small_values() {
+        // Latencies below 256 land in exact buckets, so the streaming
+        // summary must equal the exact oracle bit-for-bit.
+        let samples: Vec<u64> = (1..=200).collect();
+        let mut m = Metrics::new(1);
+        let op = |seq| OpId {
+            node: NodeId(0),
+            seq,
+        };
+        for (i, &lat) in samples.iter().enumerate() {
+            m.note_injected(op(i as u64), 0);
+            m.note_completed(op(i as u64), lat);
+        }
+        assert_eq!(m.snapshot().latency, LatencySummary::from_samples(&samples));
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_width_and_cap() {
+        let mut m = Metrics::with_series_capacity(2, 8);
         m.on_deliver(1, 3, K);
         m.note_injected(
             OpId {
@@ -508,6 +645,7 @@ mod tests {
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         assert!(m.series().is_empty() && m.kind_stats().is_empty());
         assert_eq!(m.pending_ops(), 0);
+        assert_eq!(m.series_capacity(), 8);
         m.on_deliver(1, 3, K); // must not panic: width preserved
     }
 }

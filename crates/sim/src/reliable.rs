@@ -34,6 +34,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::protocol::{Ctx, Protocol};
 use dpq_core::{vlq_bits, BitSize, MsgKind, NodeId};
+use dpq_telemetry::{LogHistogram, Telemetry};
 
 /// Transport envelope of [`Reliable`]: a payload with a link-local sequence
 /// number, or an ack for one.
@@ -141,6 +142,12 @@ where
     rx: BTreeMap<NodeId, RxLink>,
     /// Transport counters.
     pub stats: ReliableStats,
+    /// Ack round-trip histogram (logical time from last transmission of a
+    /// payload to its ack), `None` unless
+    /// [`enable_rtt_histogram`](Reliable::enable_rtt_histogram) was called —
+    /// so uninstrumented transports pay one pointer of storage and a
+    /// never-taken branch. Excluded from the state hash, like `stats`.
+    rtt: Option<Box<LogHistogram>>,
 }
 
 impl<P: Protocol> Reliable<P>
@@ -160,6 +167,49 @@ where
             tx: BTreeMap::new(),
             rx: BTreeMap::new(),
             stats: ReliableStats::default(),
+            rtt: None,
+        }
+    }
+
+    /// Start recording ack round-trip times into a streaming histogram.
+    /// RTT is measured from the *last* transmission of a payload (the
+    /// retransmission timer restarts the clock) to the arrival of its ack.
+    pub fn enable_rtt_histogram(&mut self) {
+        if self.rtt.is_none() {
+            self.rtt = Some(Box::new(LogHistogram::new()));
+        }
+    }
+
+    /// Builder form of [`enable_rtt_histogram`](Reliable::enable_rtt_histogram).
+    pub fn with_rtt_histogram(mut self) -> Self {
+        self.enable_rtt_histogram();
+        self
+    }
+
+    /// The ack RTT distribution, when enabled.
+    pub fn rtt_histogram(&self) -> Option<&LogHistogram> {
+        self.rtt.as_deref()
+    }
+
+    /// Fold this node's transport activity into a telemetry sink: the
+    /// `reliable.*` counters and — when enabled — the ack RTT histogram.
+    /// Drivers call this once per node after (or during) a run; counters
+    /// are cumulative, so call it exactly once per node per run.
+    pub fn export_telemetry<M: Telemetry>(&self, sink: &mut M) {
+        if !M::ENABLED {
+            return;
+        }
+        let sent = sink.register_counter("reliable.sent");
+        let retx = sink.register_counter("reliable.retransmits");
+        let dups = sink.register_counter("reliable.dup_suppressed");
+        let acks = sink.register_counter("reliable.acks_sent");
+        sink.counter_add(sent, self.stats.sent);
+        sink.counter_add(retx, self.stats.retransmits);
+        sink.counter_add(dups, self.stats.dup_suppressed);
+        sink.counter_add(acks, self.stats.acks_sent);
+        if let Some(rtt) = &self.rtt {
+            let id = sink.register_histogram("reliable.ack_rtt");
+            sink.hist_merge(id, rtt);
         }
     }
 
@@ -245,7 +295,11 @@ where
         match msg {
             ReliableMsg::Ack { seq } => {
                 if let Some(link) = self.tx.get_mut(&from) {
-                    link.unacked.remove(&seq);
+                    if let Some((_, last_sent)) = link.unacked.remove(&seq) {
+                        if let Some(rtt) = &mut self.rtt {
+                            rtt.record(ctx.now().saturating_sub(last_sent));
+                        }
+                    }
                 }
             }
             ReliableMsg::Data { seq, msg } => {

@@ -20,6 +20,7 @@ use crate::metrics::Metrics;
 use crate::policy::{DeliveryPolicy, RandomAdversary, StepChoice};
 use crate::protocol::{Ctx, CtxBufs, CtxEvent, Protocol};
 use dpq_core::{NodeId, OpId};
+use dpq_telemetry::{NullTelemetry, Telemetry};
 use dpq_trace::{NullTracer, TraceEvent, Tracer};
 
 /// Tunables for the asynchronous adversary.
@@ -56,6 +57,14 @@ impl Default for AsyncConfig {
 /// axis of its events is the adversary *step* counter (there are no rounds,
 /// so no `RoundEnd` events are emitted).
 ///
+/// Also generic over a [`Telemetry`] sink (default [`NullTelemetry`],
+/// `ENABLED = false`): per-delivery kind/bits, op latencies as they
+/// complete, and — at every activation sweep — a measurement window
+/// (messages delivered since the previous sweep), flight-set occupancy and
+/// overflow-spill gauges, and the fault layer's running totals. Telemetry
+/// never draws randomness, so an instrumented run is schedule-identical to
+/// a bare one.
+///
 /// Also generic over the [`DeliveryPolicy`] that picks what each free step
 /// does. The default [`RandomAdversary`] is the paper's randomized
 /// adversary; `dpq-mc` plugs in scripted policies to enumerate schedules.
@@ -65,8 +74,12 @@ impl Default for AsyncConfig {
 /// choices — and therefore the whole run — bit-for-bit identical to a
 /// scheduler constructed without one. `P::Msg: Clone` because the fault
 /// layer may have to duplicate a message.
-pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer, D: DeliveryPolicy = RandomAdversary>
-{
+pub struct AsyncScheduler<
+    P: Protocol,
+    T: Tracer = NullTracer,
+    D: DeliveryPolicy = RandomAdversary,
+    M: Telemetry = NullTelemetry,
+> {
     nodes: Vec<P>,
     /// In-flight messages, maturity-indexed when the fault layer (or a
     /// delay bound) makes readiness non-trivial.
@@ -77,9 +90,15 @@ pub struct AsyncScheduler<P: Protocol, T: Tracer = NullTracer, D: DeliveryPolicy
     pub metrics: Metrics,
     /// The event sink.
     pub tracer: T,
+    /// The metrics sink.
+    pub telemetry: M,
     policy: D,
     cfg: AsyncConfig,
     step: u64,
+    /// `metrics.messages` at the last telemetry window boundary.
+    win_base_messages: u64,
+    /// Gauge/histogram handles, registered lazily at the first sweep.
+    win_handles: Option<(dpq_telemetry::GaugeId, dpq_telemetry::GaugeId)>,
     /// Recycled Ctx storage: one outbox/event allocation per scheduler,
     /// not per node turn.
     bufs: CtxBufs<P::Msg>,
@@ -145,13 +164,31 @@ impl<P: Protocol, T: Tracer, D: DeliveryPolicy> AsyncScheduler<P, T, D>
 where
     P::Msg: Clone,
 {
-    /// The fully general constructor: policy, fault plan, and event sink.
+    /// The general constructor: policy, fault plan, and event sink.
     pub fn with_policy_faults_tracer(
         nodes: Vec<P>,
         cfg: AsyncConfig,
         plan: FaultPlan,
         policy: D,
         tracer: T,
+    ) -> Self {
+        Self::with_policy_faults_tracer_telemetry(nodes, cfg, plan, policy, tracer, NullTelemetry)
+    }
+}
+
+impl<P: Protocol, T: Tracer, D: DeliveryPolicy, M: Telemetry> AsyncScheduler<P, T, D, M>
+where
+    P::Msg: Clone,
+{
+    /// The fully general constructor: policy, fault plan, event sink, and
+    /// metrics sink.
+    pub fn with_policy_faults_tracer_telemetry(
+        nodes: Vec<P>,
+        cfg: AsyncConfig,
+        plan: FaultPlan,
+        policy: D,
+        tracer: T,
+        telemetry: M,
     ) -> Self {
         let n = nodes.len();
         let faults = FaultState::new(plan, n);
@@ -165,9 +202,12 @@ where
             faults,
             metrics: Metrics::new(n),
             tracer,
+            telemetry,
             policy,
             cfg,
             step: 0,
+            win_base_messages: 0,
+            win_handles: None,
             bufs: CtxBufs::default(),
         }
     }
@@ -190,6 +230,23 @@ where
     /// Consume the scheduler, yielding its event sink.
     pub fn into_tracer(self) -> T {
         self.tracer
+    }
+
+    /// Consume the scheduler, yielding its metrics sink.
+    pub fn into_telemetry(self) -> M {
+        self.telemetry
+    }
+
+    /// Consume the scheduler, yielding both sinks at once.
+    pub fn into_sinks(self) -> (T, M) {
+        (self.tracer, self.telemetry)
+    }
+
+    /// Consume the scheduler, yielding the protocol instances and both
+    /// sinks — for drivers that fold node-local state (e.g. transport
+    /// counters) into the metrics sink after the run ends.
+    pub fn into_parts(self) -> (Vec<P>, T, M) {
+        (self.nodes, self.tracer, self.telemetry)
     }
 
     /// Consume the scheduler, yielding the protocol instances — used by
@@ -282,7 +339,12 @@ where
                     }
                 }
                 CtxEvent::OpDone { op } => {
-                    self.metrics.note_completed(op, self.step);
+                    let lat = self.metrics.note_completed(op, self.step);
+                    if M::ENABLED {
+                        if let Some(lat) = lat {
+                            self.telemetry.on_op_latency(lat);
+                        }
+                    }
                     if T::ENABLED {
                         self.tracer.record(TraceEvent::OpCompleted {
                             round: self.step,
@@ -340,6 +402,9 @@ where
         }
         let dst = env.dst.index();
         self.metrics.on_deliver(dst, env.bits, env.kind);
+        if M::ENABLED {
+            self.telemetry.on_deliver(env.kind, env.bits);
+        }
         if T::ENABLED {
             self.tracer.record(TraceEvent::Deliver {
                 round: self.step,
@@ -380,6 +445,9 @@ where
             }
         }
         if self.cfg.sweep_every > 0 && self.step.is_multiple_of(self.cfg.sweep_every) {
+            if M::ENABLED {
+                self.telemetry_window();
+            }
             for i in 0..self.nodes.len() {
                 if !self.faults.is_down(NodeId(i as u64)) {
                     self.activate(i);
@@ -424,6 +492,37 @@ where
                     self.activate(i);
                 }
             }
+        }
+    }
+
+    /// Close a telemetry measurement window at a sweep boundary: deliveries
+    /// since the previous sweep, the running congestion maximum, flight-set
+    /// occupancy and overflow-heap spill gauges, and the fault layer's
+    /// totals. Pure observation — reads scheduler state, mutates only the
+    /// sink.
+    fn telemetry_window(&mut self) {
+        let (occ, spill) = match self.win_handles {
+            Some(h) => h,
+            None => {
+                let h = (
+                    self.telemetry.register_gauge("flightset.occupancy"),
+                    self.telemetry.register_gauge("flightset.overflow_spill"),
+                );
+                self.win_handles = Some(h);
+                h
+            }
+        };
+        let delivered = self.metrics.messages - self.win_base_messages;
+        self.win_base_messages = self.metrics.messages;
+        // Async has no rounds, so the congestion figure is the running
+        // per-(node, run) maximum rather than a per-window one.
+        self.telemetry
+            .on_window_end(delivered, self.metrics.congestion);
+        self.telemetry.gauge_set(occ, self.in_flight.len() as u64);
+        self.telemetry
+            .gauge_set(spill, self.in_flight.overflow_len() as u64);
+        if self.faults.active() {
+            self.telemetry.fault_totals(self.faults.stats.totals());
         }
     }
 

@@ -11,6 +11,7 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::Metrics;
 use crate::protocol::{Ctx, CtxBufs, CtxEvent, Protocol};
 use dpq_core::{NodeId, OpId};
+use dpq_telemetry::{NullTelemetry, Telemetry};
 use dpq_trace::{DropReason, NullTracer, TraceEvent, Tracer};
 
 /// Why a run stopped.
@@ -46,7 +47,12 @@ impl RunOutcome {
 ///
 /// Generic over a [`Tracer`] sink; the default [`NullTracer`] advertises
 /// `ENABLED = false`, so untraced schedulers compile to exactly the code
-/// they had before tracing existed.
+/// they had before tracing existed. The same pattern covers telemetry: a
+/// [`Telemetry`] sink (default [`NullTelemetry`], also `ENABLED = false`)
+/// receives per-delivery kind/bits, per-round message/congestion windows,
+/// op latencies, and fault-layer totals. Telemetry is a pure observer — no
+/// randomness, no feedback into protocol state — so attaching a sink never
+/// changes a run's schedule.
 ///
 /// Optionally executes a [`FaultPlan`] (drops, duplicates, partitions,
 /// crash-recover, delay inflation). The scheduler itself has no randomness,
@@ -54,7 +60,7 @@ impl RunOutcome {
 /// observationally identical to no plan at all and any (plan, workload) pair
 /// replays bit-for-bit. `P::Msg: Clone` because the fault layer may have to
 /// duplicate a message.
-pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer> {
+pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer, M: Telemetry = NullTelemetry> {
     nodes: Vec<P>,
     /// Messages sent in the previous round, grouped per destination,
     /// deliverable now.
@@ -69,6 +75,8 @@ pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer> {
     pub metrics: Metrics,
     /// The event sink.
     pub tracer: T,
+    /// The metrics sink.
+    pub telemetry: M,
     round: u64,
     /// Recycled Ctx storage: one outbox/event allocation per scheduler,
     /// not per node turn.
@@ -103,6 +111,21 @@ where
 
     /// Scheduler with both a fault plan and an event sink.
     pub fn with_faults_tracer(nodes: Vec<P>, plan: FaultPlan, tracer: T) -> Self {
+        SyncScheduler::with_faults_tracer_telemetry(nodes, plan, tracer, NullTelemetry)
+    }
+}
+
+impl<P: Protocol, T: Tracer, M: Telemetry> SyncScheduler<P, T, M>
+where
+    P::Msg: Clone,
+{
+    /// Fully general constructor: fault plan, event sink, and metrics sink.
+    pub fn with_faults_tracer_telemetry(
+        nodes: Vec<P>,
+        plan: FaultPlan,
+        tracer: T,
+        telemetry: M,
+    ) -> Self {
         let n = nodes.len();
         SyncScheduler {
             nodes,
@@ -112,6 +135,7 @@ where
             faults: FaultState::new(plan, n),
             metrics: Metrics::new(n),
             tracer,
+            telemetry,
             round: 0,
             bufs: CtxBufs::default(),
             future_scratch: Vec::new(),
@@ -126,6 +150,23 @@ where
     /// Consume the scheduler, yielding its event sink.
     pub fn into_tracer(self) -> T {
         self.tracer
+    }
+
+    /// Consume the scheduler, yielding its metrics sink.
+    pub fn into_telemetry(self) -> M {
+        self.telemetry
+    }
+
+    /// Consume the scheduler, yielding both sinks at once.
+    pub fn into_sinks(self) -> (T, M) {
+        (self.tracer, self.telemetry)
+    }
+
+    /// Consume the scheduler, yielding the protocol instances and both
+    /// sinks — for drivers that fold node-local state (e.g. transport
+    /// counters) into the metrics sink after the run ends.
+    pub fn into_parts(self) -> (Vec<P>, T, M) {
+        (self.nodes, self.tracer, self.telemetry)
     }
 
     /// Consume the scheduler, yielding the protocol instances — used by
@@ -250,6 +291,9 @@ where
                     continue;
                 }
                 self.metrics.on_deliver(i, env.bits, env.kind);
+                if M::ENABLED {
+                    self.telemetry.on_deliver(env.kind, env.bits);
+                }
                 if T::ENABLED {
                     self.tracer.record(TraceEvent::Deliver {
                         round: self.round,
@@ -314,6 +358,11 @@ where
                 congestion: s.congestion,
             });
         }
+        if M::ENABLED {
+            let s = self.metrics.this_round();
+            self.telemetry.on_window_end(s.messages, s.congestion);
+            self.telemetry.fault_totals(self.faults.stats.totals());
+        }
         self.metrics.end_round();
         self.round += 1;
     }
@@ -333,7 +382,12 @@ where
                     }
                 }
                 CtxEvent::OpDone { op } => {
-                    self.metrics.note_completed(op, self.round);
+                    let lat = self.metrics.note_completed(op, self.round);
+                    if M::ENABLED {
+                        if let Some(lat) = lat {
+                            self.telemetry.on_op_latency(lat);
+                        }
+                    }
                     if T::ENABLED {
                         self.tracer.record(TraceEvent::OpCompleted {
                             round: self.round,

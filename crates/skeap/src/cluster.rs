@@ -5,8 +5,9 @@ use dpq_core::workload::WorkloadSpec;
 use dpq_core::{Element, History, NodeId, OpId, OpKind};
 use dpq_overlay::{NodeView, Topology};
 use dpq_sim::{
-    AsyncConfig, AsyncScheduler, FaultPlan, FaultStats, LatencySummary, MetricsSnapshot,
-    NullTracer, Reliable, SyncScheduler, TraceEvent, Tracer,
+    AsyncConfig, AsyncScheduler, FaultPlan, FaultStats, LatencySummary, LogHistogram,
+    MetricsSnapshot, NullTelemetry, NullTracer, Reliable, SyncScheduler, Telemetry, TraceEvent,
+    Tracer,
 };
 
 /// Build the `n` protocol nodes of a Skeap instance.
@@ -66,10 +67,11 @@ pub struct SyncRun {
     pub rounds: u64,
     /// Did every request complete within the budget?
     pub completed: bool,
-    /// Per-operation latencies (rounds from injection to completion), in
-    /// completion order — the raw samples behind `metrics.latency`, kept so
-    /// experiments can merge distributions across seeds.
-    pub latencies: Vec<u64>,
+    /// Log-bucketed distribution of per-operation latencies (rounds from
+    /// injection to completion) — the samples behind `metrics.latency`, kept
+    /// as a mergeable histogram so experiments can pool distributions across
+    /// seeds in O(buckets).
+    pub latency_hist: LogHistogram,
 }
 
 impl SyncRun {
@@ -93,9 +95,35 @@ pub fn run_sync_traced<T: Tracer>(
     max_rounds: u64,
     tracer: T,
 ) -> (SyncRun, T) {
+    let (run, tracer, _) = run_sync_instrumented(spec, n_prios, max_rounds, tracer, NullTelemetry);
+    (run, tracer)
+}
+
+/// [`run_sync`] with a metrics sink attached to the scheduler (e.g. a
+/// [`dpq_sim::Hub`]); returns the sink alongside the run.
+pub fn run_sync_telemetry<M: Telemetry>(
+    spec: &WorkloadSpec,
+    n_prios: usize,
+    max_rounds: u64,
+    telemetry: M,
+) -> (SyncRun, M) {
+    let (run, _, telemetry) =
+        run_sync_instrumented(spec, n_prios, max_rounds, NullTracer, telemetry);
+    (run, telemetry)
+}
+
+/// The general synchronous driver: both an event sink and a metrics sink.
+pub fn run_sync_instrumented<T: Tracer, M: Telemetry>(
+    spec: &WorkloadSpec,
+    n_prios: usize,
+    max_rounds: u64,
+    tracer: T,
+    telemetry: M,
+) -> (SyncRun, T, M) {
     let nodes = build(spec.n, n_prios, spec.seed);
     let scripts = dpq_core::workload::generate(spec);
-    let mut sched = SyncScheduler::with_tracer(nodes, tracer);
+    let mut sched =
+        SyncScheduler::with_faults_tracer_telemetry(nodes, FaultPlan::none(), tracer, telemetry);
     for id in inject_all(sched.nodes_mut(), &scripts) {
         sched.note_injected(id);
     }
@@ -105,9 +133,10 @@ pub fn run_sync_traced<T: Tracer>(
         metrics: sched.metrics.snapshot(),
         rounds: out.rounds(),
         completed: out.is_quiescent(),
-        latencies: sched.metrics.latencies().to_vec(),
+        latency_hist: sched.metrics.latency_histogram().clone(),
     };
-    (run, sched.into_tracer())
+    let (tracer, telemetry) = sched.into_sinks();
+    (run, tracer, telemetry)
 }
 
 /// Run a full workload under the asynchronous adversary.
@@ -168,8 +197,9 @@ pub struct FaultyRun {
     pub time: u64,
     /// Did every request complete within the budget?
     pub completed: bool,
-    /// Raw per-op latency samples, completion order.
-    pub latencies: Vec<u64>,
+    /// Log-bucketed distribution of per-op latency samples, mergeable
+    /// across seeds.
+    pub latency_hist: LogHistogram,
     /// What the fault layer did to the run.
     pub faults: FaultStats,
     /// Retransmissions the transport performed to beat the drops.
@@ -217,15 +247,34 @@ pub fn run_sync_faulty(
     plan: FaultPlan,
     timeout: u64,
 ) -> FaultyRun {
-    let nodes = Reliable::wrap_all(build(spec.n, n_prios, spec.seed), timeout);
+    run_sync_faulty_telemetry(spec, n_prios, max_rounds, plan, timeout, NullTelemetry).0
+}
+
+/// [`run_sync_faulty`] with a metrics sink: the transport layer gets ack-RTT
+/// histograms, and its retransmit/duplicate counters are folded into the sink
+/// when the run ends.
+pub fn run_sync_faulty_telemetry<M: Telemetry>(
+    spec: &WorkloadSpec,
+    n_prios: usize,
+    max_rounds: u64,
+    plan: FaultPlan,
+    timeout: u64,
+    telemetry: M,
+) -> (FaultyRun, M) {
+    let mut nodes = Reliable::wrap_all(build(spec.n, n_prios, spec.seed), timeout);
+    if M::ENABLED {
+        for n in &mut nodes {
+            n.enable_rtt_histogram();
+        }
+    }
     let scripts = dpq_core::workload::generate(spec);
-    let mut sched = SyncScheduler::with_faults(nodes, plan);
+    let mut sched = SyncScheduler::with_faults_tracer_telemetry(nodes, plan, NullTracer, telemetry);
     for id in inject_wrapped(sched.nodes_mut(), &scripts) {
         sched.note_injected(id);
     }
     let out = sched.run_until_pred(max_rounds, |ns| ns.iter().all(|n| n.inner().all_complete()));
     let (retransmits, dup_suppressed) = transport_totals(sched.nodes());
-    FaultyRun {
+    let run = FaultyRun {
         history: History::merge(
             sched
                 .nodes()
@@ -236,12 +285,24 @@ pub fn run_sync_faulty(
         metrics: sched.metrics.snapshot(),
         time: out.rounds(),
         completed: out.is_quiescent(),
-        latencies: sched.metrics.latencies().to_vec(),
+        latency_hist: sched.metrics.latency_histogram().clone(),
         faults: sched.faults().stats,
         retransmits,
         dup_suppressed,
         residual: residual_of(sched.nodes()),
+    };
+    // The schedulers mirror fault totals at window boundaries, which can
+    // trail the final counters by a partial window; push the end-of-run
+    // snapshot (the mirror is an idempotent set, not an add).
+    let final_faults = sched.faults().stats.totals();
+    let (nodes, _, mut telemetry) = sched.into_parts();
+    if M::ENABLED {
+        telemetry.fault_totals(final_faults);
+        for n in &nodes {
+            n.export_telemetry(&mut telemetry);
+        }
     }
+    (run, telemetry)
 }
 
 /// Run a full workload under the asynchronous adversary over a faulty
@@ -254,15 +315,50 @@ pub fn run_async_faulty(
     plan: FaultPlan,
     timeout: u64,
 ) -> FaultyRun {
-    let nodes = Reliable::wrap_all(build(spec.n, n_prios, spec.seed), timeout);
+    run_async_faulty_telemetry(
+        spec,
+        n_prios,
+        sched_seed,
+        max_steps,
+        plan,
+        timeout,
+        NullTelemetry,
+    )
+    .0
+}
+
+/// [`run_async_faulty`] with a metrics sink (see
+/// [`run_sync_faulty_telemetry`]).
+pub fn run_async_faulty_telemetry<M: Telemetry>(
+    spec: &WorkloadSpec,
+    n_prios: usize,
+    sched_seed: u64,
+    max_steps: u64,
+    plan: FaultPlan,
+    timeout: u64,
+    telemetry: M,
+) -> (FaultyRun, M) {
+    let mut nodes = Reliable::wrap_all(build(spec.n, n_prios, spec.seed), timeout);
+    if M::ENABLED {
+        for n in &mut nodes {
+            n.enable_rtt_histogram();
+        }
+    }
     let scripts = dpq_core::workload::generate(spec);
-    let mut sched = AsyncScheduler::with_faults(nodes, sched_seed, AsyncConfig::default(), plan);
+    let mut sched = AsyncScheduler::with_policy_faults_tracer_telemetry(
+        nodes,
+        AsyncConfig::default(),
+        plan,
+        dpq_sim::RandomAdversary::new(sched_seed),
+        NullTracer,
+        telemetry,
+    );
     for id in inject_wrapped(sched.nodes_mut(), &scripts) {
         sched.note_injected(id);
     }
     let ok = sched.run_until_pred(max_steps, |ns| ns.iter().all(|n| n.inner().all_complete()));
     let (retransmits, dup_suppressed) = transport_totals(sched.nodes());
-    FaultyRun {
+    let run = FaultyRun {
         history: History::merge(
             sched
                 .nodes()
@@ -273,10 +369,22 @@ pub fn run_async_faulty(
         metrics: sched.metrics.snapshot(),
         time: sched.steps(),
         completed: ok,
-        latencies: sched.metrics.latencies().to_vec(),
+        latency_hist: sched.metrics.latency_histogram().clone(),
         faults: sched.faults().stats,
         retransmits,
         dup_suppressed,
         residual: residual_of(sched.nodes()),
+    };
+    // The schedulers mirror fault totals at window boundaries, which can
+    // trail the final counters by a partial window; push the end-of-run
+    // snapshot (the mirror is an idempotent set, not an add).
+    let final_faults = sched.faults().stats.totals();
+    let (nodes, _, mut telemetry) = sched.into_parts();
+    if M::ENABLED {
+        telemetry.fault_totals(final_faults);
+        for n in &nodes {
+            n.export_telemetry(&mut telemetry);
+        }
     }
+    (run, telemetry)
 }

@@ -66,11 +66,51 @@ proptest! {
         prop_assert!(untraced.completed && traced.completed);
         prop_assert_eq!(untraced.metrics, traced.metrics);
         prop_assert_eq!(untraced.rounds, traced.rounds);
-        prop_assert_eq!(untraced.latencies, traced.latencies);
+        prop_assert_eq!(&untraced.latency_hist, &traced.latency_hist);
         prop_assert_eq!(
             format!("{:?}", untraced.history.nodes),
             format!("{:?}", traced.history.nodes)
         );
         prop_assert!(!tracer.events.is_empty());
+    }
+
+    /// The metrics hub is as read-only as the null tracer: a telemetry-enabled
+    /// run (hub attached to the scheduler, ack-RTT histograms on the
+    /// transport) is RNG-draw-for-draw identical to the bare run of the same
+    /// seeds — same history, metrics, fault decisions, and latency
+    /// distribution — under the asynchronous adversary over a faulty network.
+    #[test]
+    fn telemetry_hub_leaves_faulty_async_run_unchanged(
+        spec in arb_spec(),
+        sched_seed in 0u64..1 << 20,
+    ) {
+        let plan = dpq_sim::FaultPlan::uniform(0xD1CE, 0.05, 0.05);
+        let bare = cluster::run_async_faulty(
+            &spec, N_PRIOS, sched_seed, MAX_STEPS, plan.clone(), 64);
+        let (inst, hub) = cluster::run_async_faulty_telemetry(
+            &spec, N_PRIOS, sched_seed, MAX_STEPS, plan, 64, dpq_sim::Hub::new());
+        prop_assert!(bare.completed && inst.completed, "faulty runs must drain");
+        prop_assert_eq!(bare.metrics, inst.metrics);
+        prop_assert_eq!(bare.time, inst.time);
+        prop_assert_eq!(bare.faults, inst.faults);
+        prop_assert_eq!(bare.retransmits, inst.retransmits);
+        prop_assert_eq!(bare.dup_suppressed, inst.dup_suppressed);
+        prop_assert_eq!(&bare.latency_hist, &inst.latency_hist);
+        prop_assert_eq!(
+            format!("{:?}", bare.history.nodes),
+            format!("{:?}", inst.history.nodes)
+        );
+        // And the hub observed the run it rode along with.
+        prop_assert_eq!(hub.op_latency.count(), inst.latency_hist.count());
+        prop_assert_eq!(&hub.op_latency, &inst.latency_hist);
+        prop_assert_eq!(hub.faults, inst.faults.totals());
+        prop_assert_eq!(
+            hub.counter_by_name("reliable.retransmits").unwrap_or(0),
+            inst.retransmits
+        );
+        prop_assert_eq!(
+            hub.counter_by_name("reliable.dup_suppressed").unwrap_or(0),
+            inst.dup_suppressed
+        );
     }
 }

@@ -1,0 +1,315 @@
+//! Log-bucketed streaming histograms: fixed footprint, O(1) record, exact
+//! merge, bounded relative quantile error.
+//!
+//! The bucketing scheme is HDR-style: values below 2·2⁷ = 256 are recorded
+//! exactly (one bucket per value); above that, each power-of-two octave is
+//! split into 128 sub-buckets, so a bucket at value `v` has width
+//! `v / 128`-ish and any reported quantile is within **½·(1/128) ≈ 0.39 %**
+//! (documented bound: ≤ 1 %) of the exact nearest-rank statistic over the
+//! same samples — property-tested in `tests/hist_props.rs`. Values at or
+//! above 2⁴⁰ saturate into the last bucket (the exact maximum is still
+//! tracked separately); latencies and message sizes in this workspace are
+//! rounds/steps/bits and never get near that.
+//!
+//! Everything is integer arithmetic over a fixed `Box<[u64]>` of
+//! [`LogHistogram::BUCKETS`] counters (~34 KB), so recording is
+//! deterministic, memory is O(buckets) — not O(samples) — and two
+//! histograms merge exactly by adding counts: merge is associative and
+//! commutative, which is what lets the sharded sweep runner combine
+//! per-cell histograms in index order and stay byte-identical for any
+//! `--jobs N`.
+
+/// Sub-bucket resolution: 2⁷ sub-buckets per octave → ≤ 2⁻⁸ relative
+/// quantile error from the bucket midpoint.
+const SUB_BITS: u32 = 7;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Values at or above `2^MAX_EXP` saturate into the final bucket.
+const MAX_EXP: u32 = 40;
+
+/// A streaming histogram over `u64` samples. See the module docs for the
+/// bucketing scheme and error bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Samples that saturated the final bucket (≥ 2^MAX_EXP).
+    saturated: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Number of buckets every histogram carries (fixed footprint).
+    pub const BUCKETS: usize = SUB + (MAX_EXP - SUB_BITS) as usize * SUB;
+
+    /// An empty histogram (allocates its full bucket array up front).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0u64; Self::BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            saturated: 0,
+        }
+    }
+
+    /// The bucket index of `v`.
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let m = 63 - v.leading_zeros();
+        if m >= MAX_EXP {
+            return Self::BUCKETS - 1;
+        }
+        let shift = m - SUB_BITS;
+        (m - SUB_BITS + 1) as usize * SUB + ((v >> shift) as usize & (SUB - 1))
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `i`.
+    fn bounds(i: usize) -> (u64, u64) {
+        if i < SUB {
+            return (i as u64, i as u64);
+        }
+        let m = (i / SUB) as u32 + SUB_BITS - 1;
+        let shift = m - SUB_BITS;
+        let lo = ((SUB + (i & (SUB - 1))) as u64) << shift;
+        (lo, lo + (1u64 << shift) - 1)
+    }
+
+    /// Record one sample — O(1), no allocation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = Self::index(v);
+        self.counts[i] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if i == Self::BUCKETS - 1 && v >= 1u64 << MAX_EXP {
+            self.saturated += n;
+        }
+    }
+
+    /// Fold another histogram in — exact: the result is indistinguishable
+    /// from having recorded both sample streams into one histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.saturated += other.saturated;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, exact (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, exact (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples that saturated the final bucket (≥ 2⁴⁰).
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) by the nearest-rank method, within the
+    /// documented relative error of the exact statistic. `q = 1` (and any
+    /// rank landing on the final sample) returns the exact maximum; an empty
+    /// histogram returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (lo, hi) = Self::bounds(i);
+                // Midpoint representative, clamped to the observed range so
+                // a single-bucket histogram reports its own min/max.
+                return (lo + (hi - lo) / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate the non-empty buckets as `(lo, hi, count)` — the exposition
+    /// writers build cumulative bucket lines from this.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Build a histogram from a sample slice (tests and small-sample paths).
+    pub fn from_samples(samples: &[u64]) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..256u64 {
+            h.record(v);
+        }
+        for q in [0.01f64, 0.25, 0.5, 0.9, 0.99] {
+            let rank = (q * 256.0).ceil() as u64;
+            assert_eq!(h.quantile(q), rank - 1, "q={q}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 255);
+        assert_eq!(h.count(), 256);
+        assert_eq!(h.sum(), (0..256).sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_consistent() {
+        // Every value maps to a bucket whose range contains it, and bucket
+        // ranges tile the axis without gaps.
+        let mut probe = vec![0u64, 1, 127, 128, 255, 256, 257, 1023, 1024];
+        let mut v = 1u64;
+        while v < 1 << 39 {
+            probe.extend([v - 1, v, v + 1, v + v / 3]);
+            v <<= 1;
+        }
+        for &v in &probe {
+            let i = LogHistogram::index(v);
+            let (lo, hi) = LogHistogram::bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+        for i in 1..LogHistogram::BUCKETS {
+            let (_, prev_hi) = LogHistogram::bounds(i - 1);
+            let (lo, _) = LogHistogram::bounds(i);
+            assert_eq!(lo, prev_hi + 1, "gap before bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_percent() {
+        // Geometric-ish sample set spanning many octaves.
+        let samples: Vec<u64> = (0..4000u64).map(|i| (i * i * 31 + 7) % 900_000).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = LogHistogram::from_samples(&samples);
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let got = h.quantile(q);
+            let err = got.abs_diff(exact) as f64;
+            assert!(
+                err <= 1.0_f64.max(exact as f64 * 0.01),
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_joint_recording() {
+        let (a, b): (Vec<u64>, Vec<u64>) = (
+            (0..500).map(|i| i * 17 % 10_000).collect(),
+            (0..700).map(|i| i * 313 % 1_000_000).collect(),
+        );
+        let mut ha = LogHistogram::from_samples(&a);
+        let hb = LogHistogram::from_samples(&b);
+        ha.merge(&hb);
+        let joint: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(ha, LogHistogram::from_samples(&joint));
+    }
+
+    #[test]
+    fn saturation_is_tracked_and_max_stays_exact() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX - 3);
+        h.record(5);
+        assert_eq!(h.saturated(), 1);
+        assert_eq!(h.max(), u64::MAX - 3);
+        assert_eq!(h.quantile(1.0), u64::MAX - 3);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!((h.quantile(0.5), h.min(), h.max(), h.count()), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn footprint_is_fixed() {
+        assert_eq!(LogHistogram::BUCKETS, 4352);
+        let h = LogHistogram::new();
+        assert_eq!(h.counts.len(), LogHistogram::BUCKETS);
+    }
+}

@@ -1,0 +1,136 @@
+//! Windowed time series: a ring buffer that keeps the **newest** `cap`
+//! samples and counts what it evicted.
+//!
+//! This replaces the old `SERIES_CAP`-guarded `Vec` in `dpq-sim`, which kept
+//! the *oldest* samples and silently stopped appending once full — so a long
+//! run's tail (usually the interesting part) vanished, and windowed queries
+//! quietly answered over a different range than asked. A `RingSeries` always
+//! holds the most recent window and reports how many older samples were
+//! dropped, so callers can surface truncation instead of mis-windowing.
+
+/// Fixed-capacity ring buffer over `T`, evicting oldest-first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSeries<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    /// Samples evicted to make room (total pushed = len + dropped).
+    dropped: u64,
+}
+
+impl<T: Copy> RingSeries<T> {
+    /// An empty series holding at most `cap` samples (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "RingSeries capacity must be at least 1");
+        RingSeries {
+            buf: Vec::new(),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append a sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Samples evicted so far (0 until the window first fills).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total samples ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.dropped + self.buf.len() as u64
+    }
+
+    /// Iterate the retained window oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+
+    /// The retained window as a fresh oldest-first `Vec` (test/export aid).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().copied().collect()
+    }
+
+    /// The newest sample, if any.
+    pub fn last(&self) -> Option<&T> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let i = (self.head + self.buf.len() - 1) % self.buf.len();
+        Some(&self.buf[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_window_and_counts_drops() {
+        let mut s = RingSeries::new(4);
+        for v in 0..10u64 {
+            s.push(v);
+        }
+        assert_eq!(s.to_vec(), vec![6, 7, 8, 9]);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.total_pushed(), 10);
+        assert_eq!(s.last(), Some(&9));
+    }
+
+    #[test]
+    fn under_capacity_behaves_like_vec() {
+        let mut s = RingSeries::new(8);
+        for v in 0..5u64 {
+            s.push(v);
+        }
+        assert_eq!(s.to_vec(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!((s.len(), s.capacity()), (5, 8));
+    }
+
+    #[test]
+    fn exactly_full_drops_nothing() {
+        let mut s = RingSeries::new(3);
+        for v in 0..3u64 {
+            s.push(v);
+        }
+        assert_eq!(s.to_vec(), vec![0, 1, 2]);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.last(), Some(&2));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s: RingSeries<u64> = RingSeries::new(2);
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

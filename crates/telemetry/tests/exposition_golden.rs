@@ -1,0 +1,95 @@
+//! Golden-file pin for the Prometheus text exposition format.
+//!
+//! A fixed, deterministic hub must render to exactly the committed
+//! `golden_exposition.prom`, and that text must survive a parse → re-render
+//! round trip byte-for-byte. This is the wire contract the future network
+//! daemon (ROADMAP item 1) will serve over HTTP: if a change to the writer
+//! alters the bytes, this test forces the change to be deliberate —
+//! regenerate with `DPQ_UPDATE_GOLDEN=1 cargo test -p dpq-telemetry` and
+//! commit the diff.
+
+use dpq_core::MsgKind;
+use dpq_telemetry::{
+    parse_prometheus, prometheus_text, render_exposition, FaultTotals, Hub, Telemetry,
+};
+
+const GOLDEN: &str = include_str!("golden_exposition.prom");
+
+/// A hub exercising every exposition section: all four well-known
+/// histograms, kind totals, fault totals, and one registered instrument of
+/// each flavor. Values are fixed — no randomness, no time.
+fn golden_hub() -> Hub {
+    let mut hub = Hub::new();
+    for v in [0u64, 1, 7, 130, 255, 256, 300, 5000, 1 << 20] {
+        hub.on_op_latency(v);
+    }
+    for (kind, bits) in [
+        (MsgKind("skeap.batch_up"), 4096),
+        (MsgKind("skeap.batch_up"), 2048),
+        (MsgKind("dht.req"), 96),
+        (MsgKind("seap.token"), 33),
+    ] {
+        hub.on_deliver(kind, bits);
+    }
+    hub.on_window_end(4, 2);
+    hub.on_window_end(0, 0);
+    hub.on_window_end(17, 9);
+    let retx = hub.counter("reliable.retransmits");
+    hub.counter_add(retx, 12);
+    let dup = hub.counter("reliable.dup_suppressed");
+    hub.counter_add(dup, 3);
+    let occ = hub.gauge("flightset.occupancy");
+    hub.gauge_set(occ, 1000);
+    hub.gauge_set(occ, 250);
+    let rtt = hub.histogram("reliable.ack_rtt");
+    for v in [2u64, 2, 5, 40] {
+        hub.hist_record(rtt, v);
+    }
+    hub.fault_totals(FaultTotals {
+        dropped_chance: 11,
+        dropped_partition: 4,
+        dropped_crash: 2,
+        duplicated: 6,
+        delayed: 9,
+        crashes: 1,
+        recoveries: 1,
+    });
+    hub
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let text = prometheus_text(&golden_hub());
+    if std::env::var_os("DPQ_UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_exposition.prom");
+        std::fs::write(path, &text).expect("write golden");
+        eprintln!("updated {path}");
+        return;
+    }
+    assert_eq!(
+        text, GOLDEN,
+        "Prometheus exposition drifted from the golden file; if deliberate, \
+         regenerate with DPQ_UPDATE_GOLDEN=1 and commit"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_byte_for_byte() {
+    let doc = parse_prometheus(GOLDEN).expect("golden file must parse");
+    assert_eq!(render_exposition(&doc), GOLDEN);
+}
+
+#[test]
+fn golden_file_is_semantically_sane() {
+    let doc = parse_prometheus(GOLDEN).expect("parse");
+    assert_eq!(doc.value("dpq_op_latency_count"), Some(9));
+    assert_eq!(doc.family_total("dpq_msgs_total"), Some(4));
+    assert_eq!(
+        doc.family_total("dpq_msg_bits_total"),
+        Some(4096 + 2048 + 96 + 33)
+    );
+    assert_eq!(doc.value("dpq_reliable_retransmits"), Some(12));
+    assert_eq!(doc.value("dpq_flightset_occupancy"), Some(250));
+    assert_eq!(doc.value("dpq_flightset_occupancy_peak"), Some(1000));
+    assert_eq!(doc.family_total("dpq_fault_events_total"), Some(34));
+}

@@ -1,0 +1,112 @@
+//! Property tests for the histogram algebra and its quantile error bound —
+//! the acceptance contract of the telemetry layer: merge is associative and
+//! commutative (so sharded sweeps combine exactly, in any grouping), and
+//! every reported quantile is within the documented ≤1% relative error of
+//! the exact nearest-rank statistic over the same samples.
+
+use dpq_telemetry::LogHistogram;
+use proptest::prelude::*;
+
+/// Sample values spanning the exact region, several octaves, and the tails.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..256,              // exact buckets
+        256u64..65_536,         // a few octaves
+        65_536u64..100_000_000, // deep octaves
+        Just(0u64),
+        Just(u64::MAX), // saturating bucket
+    ]
+}
+
+fn arb_samples(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(arb_sample(), 0..max)
+}
+
+/// Exact nearest-rank quantile over a sorted slice.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Merging histograms is commutative and associative, and merging
+    /// equals recording the concatenated sample stream.
+    #[test]
+    fn merge_is_commutative_associative_and_exact(
+        a in arb_samples(200), b in arb_samples(200), c in arb_samples(200),
+    ) {
+        let (ha, hb, hc) = (
+            LogHistogram::from_samples(&a),
+            LogHistogram::from_samples(&b),
+            LogHistogram::from_samples(&c),
+        );
+
+        // Commutative: a+b == b+a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a+b)+c == a+(b+c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Merge == joint recording.
+        let joint: Vec<u64> = a.iter().chain(b.iter()).chain(c.iter()).copied().collect();
+        prop_assert_eq!(&ab_c, &LogHistogram::from_samples(&joint));
+
+        // Identity: merging an empty histogram changes nothing.
+        let mut id = ha.clone();
+        id.merge(&LogHistogram::new());
+        prop_assert_eq!(&id, &ha);
+    }
+
+    /// Every reported quantile is within 1% relative error of the exact
+    /// nearest-rank value (and within ±1 absolutely for tiny values, where
+    /// 1% of the value is sub-integer).
+    #[test]
+    fn quantiles_are_within_one_percent(samples in arb_samples(400)) {
+        // Keep the saturating tail out of the error check: values ≥ 2⁴⁰
+        // share one bucket by design and only max is exact there.
+        let samples: Vec<u64> =
+            samples.into_iter().filter(|&v| v < (1u64 << 40)).collect();
+        prop_assume!(!samples.is_empty());
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = LogHistogram::from_samples(&samples);
+        for q in [0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.quantile(q);
+            let err = got.abs_diff(exact) as f64;
+            prop_assert!(
+                err <= 1.0_f64.max(exact as f64 * 0.01),
+                "q={}: got {}, exact {} (n={})", q, got, exact, sorted.len()
+            );
+        }
+        // The extremes are exact, not just within tolerance.
+        prop_assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    /// Aggregate statistics are exact regardless of bucketing.
+    #[test]
+    fn count_sum_min_max_are_exact(samples in arb_samples(300)) {
+        // Avoid sum saturation so the exact comparison holds.
+        let samples: Vec<u64> =
+            samples.into_iter().filter(|&v| v < (1u64 << 40)).collect();
+        let h = LogHistogram::from_samples(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        if !samples.is_empty() {
+            prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+            prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        }
+    }
+}

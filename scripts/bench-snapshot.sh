@@ -1,41 +1,46 @@
 #!/usr/bin/env bash
-# Record a performance snapshot into BENCH_pr3.json.
+# Record a performance snapshot into BENCH_pr6.json.
 #
-# Captures the two numbers PR 3 is about:
-#   * scheduler stepping throughput (the `perf` probe's four headline
-#     metrics, written as `after_*`), and
+# Captures the numbers PR 6 is accountable for:
+#   * scheduler stepping throughput with telemetry hooks compiled in but
+#     disabled (the `perf` probe's four headline metrics, written as
+#     `after_*` — same keys as BENCH_pr3.json so the probes diff directly),
+#   * the telemetry on/off pair: async clean steps/s with the no-op
+#     `NullTelemetry` sink vs with a live `dpq_sim::Hub` recording every
+#     delivery, plus the overhead percentage, and
 #   * experiment-suite wall-clock, sequential vs parallel (`--jobs 1` vs
-#     `--jobs <nproc>`).
+#     `--jobs <nproc>`), both with `--metrics` streaming enabled.
 #
-# The `before_*` keys are the same probe measured at the pre-PR-3 tree
-# (commit 917a412, linear-scan eligible selection) on the same class of
-# machine; they are baked in here so the speedup a fresh snapshot reports
-# is always against the code this PR replaced. `scripts/check.sh perf`
-# re-measures and compares against the committed `after_*` values.
+# The `before_*` keys are the committed `after_*` values of BENCH_pr3.json —
+# the tree this PR instrumented — baked in so the disabled-overhead a fresh
+# snapshot reports is always against the code the hooks were added to.
+# `scripts/check.sh perf` re-measures and gates at 95% of the committed
+# `after_*` values.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT=$(pwd)
 
-OUT=${1:-BENCH_pr3.json}
+OUT=${1:-BENCH_pr6.json}
 JOBS=$(nproc 2>/dev/null || echo 1)
 
-# Pre-PR-3 throughput (linear-scan AsyncScheduler, clone-per-send fault
-# path, per-round inbox reallocation), measured with this same probe.
-BEFORE_ASYNC_CLEAN=23626200
-BEFORE_ASYNC_FAULTY=69524
-BEFORE_SYNC_CLEAN=73164
-BEFORE_SYNC_FAULTY=62731
+# Pre-PR-6 throughput (no telemetry parameter anywhere), from BENCH_pr3.json.
+BEFORE_ASYNC_CLEAN=20906336
+BEFORE_ASYNC_FAULTY=8205208
+BEFORE_SYNC_CLEAN=134525
+BEFORE_SYNC_FAULTY=114891
 
 cargo build --workspace --release -q
 
-echo "measuring scheduler throughput..." >&2
+echo "measuring scheduler throughput (telemetry disabled)..." >&2
 METRICS=$(./target/release/perf)
+echo "measuring telemetry on/off pair..." >&2
+PAIR=$(./target/release/perf --telemetry)
 
 wallclock() { # wallclock <jobs> -> seconds (float)
   local tmp t0 t1
   tmp=$(mktemp -d)
   t0=$(date +%s.%N)
-  (cd "$tmp" && "$ROOT/target/release/experiments" --jobs "$1" >/dev/null)
+  (cd "$tmp" && "$ROOT/target/release/experiments" --jobs "$1" --metrics metrics.jsonl >/dev/null)
   t1=$(date +%s.%N)
   rm -rf "$tmp"
   awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b - a}'
@@ -46,7 +51,7 @@ SUITE_SEQ=$(wallclock 1)
 echo "timing experiment suite at --jobs $JOBS..." >&2
 SUITE_PAR=$(wallclock "$JOBS")
 
-# Merge: strip the probe's braces and splice in the before_* keys and
+# Merge: strip the probes' braces and splice in the before_* keys and
 # suite timings (flat JSON, no parser dependency anywhere).
 {
   echo "{"
@@ -55,6 +60,7 @@ SUITE_PAR=$(wallclock "$JOBS")
   echo "  \"before_sync_clean_rounds_per_sec\": $BEFORE_SYNC_CLEAN,"
   echo "  \"before_sync_faulty_rounds_per_sec\": $BEFORE_SYNC_FAULTY,"
   echo "$METRICS" | sed -e '1d' -e '$d' | sed -e '$s/$/,/'
+  echo "$PAIR" | sed -e '1d' -e '$d' | sed -e '$s/$/,/'
   echo "  \"suite_jobs\": $JOBS,"
   echo "  \"suite_seq_secs\": $SUITE_SEQ,"
   echo "  \"suite_par_secs\": $SUITE_PAR"

@@ -81,12 +81,12 @@ fn fault_matrix_skeap_conformance() {
             .unwrap_or_else(|e| panic!("{label}: heap props: {e:?}"));
         assert_conserved(&run.history, &run.residual, &label);
         assert_eq!(
-            run.latencies.len(),
+            run.latency_hist.count() as usize,
             n * ops,
             "{label}: missing op latencies"
         );
         // Recovery-latency percentiles flow through the metrics layer.
-        let lat = LatencySummary::from_samples(&run.latencies);
+        let lat = LatencySummary::from_histogram(&run.latency_hist);
         assert!(lat.max >= lat.p50, "{label}: degenerate latency summary");
         if cell.plan.is_null() {
             assert_eq!(run.faults.dropped(), 0, "{label}: clean cell saw faults");
@@ -117,7 +117,7 @@ fn fault_matrix_seap_conformance() {
             .unwrap_or_else(|e| panic!("{label}: seap checker: {e:?}"));
         assert_conserved(&run.history, &run.residual, &label);
         assert_eq!(
-            run.latencies.len(),
+            run.latency_hist.count() as usize,
             n * ops,
             "{label}: missing op latencies"
         );
@@ -350,7 +350,7 @@ type SkeapObservation = (
     Vec<OpRecord>,
     MetricsSnapshot,
     u64,
-    Vec<u64>,
+    dpq::sim::LogHistogram,
     Vec<TraceEvent>,
 );
 
@@ -370,7 +370,7 @@ fn skeap_sync_with_plan(spec: &WorkloadSpec, plan: FaultPlan) -> SkeapObservatio
         .copied()
         .collect();
     let metrics = sched.metrics.snapshot();
-    let lats = sched.metrics.latencies().to_vec();
+    let lats = sched.metrics.latency_histogram().clone();
     (
         recs,
         metrics,
@@ -411,7 +411,7 @@ proptest! {
         prop_assert_eq!(recs, base_recs);
         prop_assert_eq!(metrics, base.metrics);
         prop_assert_eq!(rounds, base.rounds);
-        prop_assert_eq!(lats, base.latencies);
+        prop_assert_eq!(&lats, &base.latency_hist);
         prop_assert_eq!(trace_bytes(&events), trace_bytes(&base_events));
     }
 

@@ -148,8 +148,8 @@ fn replay_null_plan_invisibility(e: &Entry) {
     );
     assert_eq!(out.rounds(), base.rounds, "null plan changed round count");
     assert_eq!(
-        sched.metrics.latencies().to_vec(),
-        base.latencies,
+        sched.metrics.latency_histogram(),
+        &base.latency_hist,
         "null plan changed latencies"
     );
     assert_eq!(
