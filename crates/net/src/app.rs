@@ -1,0 +1,192 @@
+//! Per-protocol glue: how the generic runtime builds, drives, and inspects
+//! each of the three node types.
+//!
+//! The nodes themselves are *unmodified* — exactly the types the simulator
+//! schedulers drive. Each process constructs the full deterministic cluster
+//! from `(n, seed, …)` the same way the sim drivers do (topology, configs,
+//! and KSelect's candidate sets are pure functions of those parameters) and
+//! keeps only its own node, so every process agrees on the deployment
+//! without any coordination beyond the flag vector.
+
+use crate::config::NodeConfig;
+use crate::frame::ProtoId;
+use dpq_core::{Element, Key, OpId, OpRecord};
+use dpq_sim::Protocol;
+use kselect::{KSelectConfig, KSelectNode};
+use seap::SeapNode;
+use skeap::SkeapNode;
+
+/// What the runtime needs from a protocol node beyond [`Protocol`].
+pub trait NetApp: Protocol + Sized
+where
+    Self::Msg: Clone,
+{
+    /// The protocol tag carried in every handshake.
+    const PROTO: ProtoId;
+
+    /// Build this process's node from the deployment parameters.
+    fn build(cfg: &NodeConfig) -> Result<Self, String>;
+
+    /// Issue `Insert(prio, payload)`; `Err` if the protocol does not take
+    /// online operations or the priority is outside its universe.
+    fn enqueue(&mut self, prio: u64, payload: u64) -> Result<OpId, String>;
+
+    /// Issue `DeleteMin()`.
+    fn dequeue(&mut self) -> Result<OpId, String>;
+
+    /// This node's op records, issue order.
+    fn records(&self) -> Vec<OpRecord>;
+
+    /// Elements resident in this node's DHT shard (conservation residual),
+    /// sorted by `(prio, id)` like the sim drivers report them.
+    fn residual(&self) -> Vec<Element>;
+
+    /// KSelect's announced result, once known.
+    fn result_key(&self) -> Option<Key> {
+        None
+    }
+
+    /// Requests issued at this node.
+    fn issued(&self) -> u64;
+
+    /// Requests completed at this node.
+    fn completed(&self) -> u64;
+
+    /// Have all issued requests completed?
+    fn all_complete(&self) -> bool;
+}
+
+fn sorted_residual(elems: impl Iterator<Item = Element>) -> Vec<Element> {
+    let mut v: Vec<Element> = elems.collect();
+    v.sort_by_key(|e| (e.prio, e.id));
+    v
+}
+
+impl NetApp for SkeapNode {
+    const PROTO: ProtoId = ProtoId::Skeap;
+
+    fn build(cfg: &NodeConfig) -> Result<Self, String> {
+        if cfg.n_prios == 0 {
+            return Err("--n-prios must be positive".into());
+        }
+        Ok(skeap::cluster::build(cfg.n, cfg.n_prios, cfg.seed).swap_remove(cfg.me as usize))
+    }
+
+    fn enqueue(&mut self, prio: u64, payload: u64) -> Result<OpId, String> {
+        if prio as usize >= self.cfg.n_prios {
+            return Err(format!(
+                "priority {prio} outside the constant universe 0..{}",
+                self.cfg.n_prios
+            ));
+        }
+        Ok(self.issue_insert(prio, payload))
+    }
+
+    fn dequeue(&mut self) -> Result<OpId, String> {
+        Ok(self.issue_delete())
+    }
+
+    fn records(&self) -> Vec<OpRecord> {
+        self.history.ops.clone()
+    }
+
+    fn residual(&self) -> Vec<Element> {
+        sorted_residual(self.shard.elements().map(|(_, e)| *e))
+    }
+
+    fn issued(&self) -> u64 {
+        self.history.ops.len() as u64
+    }
+
+    fn completed(&self) -> u64 {
+        SkeapNode::completed(self) as u64
+    }
+
+    fn all_complete(&self) -> bool {
+        SkeapNode::all_complete(self)
+    }
+}
+
+impl NetApp for SeapNode {
+    const PROTO: ProtoId = ProtoId::Seap;
+
+    fn build(cfg: &NodeConfig) -> Result<Self, String> {
+        Ok(seap::cluster::build(cfg.n, cfg.seed).swap_remove(cfg.me as usize))
+    }
+
+    fn enqueue(&mut self, prio: u64, payload: u64) -> Result<OpId, String> {
+        Ok(self.issue_insert(prio, payload))
+    }
+
+    fn dequeue(&mut self) -> Result<OpId, String> {
+        Ok(self.issue_delete())
+    }
+
+    fn records(&self) -> Vec<OpRecord> {
+        self.history.ops.clone()
+    }
+
+    fn residual(&self) -> Vec<Element> {
+        sorted_residual(self.shard.elements().map(|(_, e)| *e))
+    }
+
+    fn issued(&self) -> u64 {
+        self.history.ops.len() as u64
+    }
+
+    fn completed(&self) -> u64 {
+        self.history.ops.iter().filter(|r| r.is_complete()).count() as u64
+    }
+
+    fn all_complete(&self) -> bool {
+        SeapNode::all_complete(self)
+    }
+}
+
+impl NetApp for KSelectNode {
+    const PROTO: ProtoId = ProtoId::KSelect;
+
+    fn build(cfg: &NodeConfig) -> Result<Self, String> {
+        if cfg.k == 0 || cfg.k > cfg.m {
+            return Err(format!("--k {} out of range for --m {}", cfg.k, cfg.m));
+        }
+        let per_node = kselect::driver::random_candidates(cfg.n, cfg.m, cfg.prio_space, cfg.seed);
+        Ok(
+            kselect::driver::build(cfg.n, per_node, cfg.k, KSelectConfig::default(), cfg.seed)
+                .swap_remove(cfg.me as usize),
+        )
+    }
+
+    fn enqueue(&mut self, _prio: u64, _payload: u64) -> Result<OpId, String> {
+        Err("kselect is a one-shot selection, not an online queue".into())
+    }
+
+    fn dequeue(&mut self) -> Result<OpId, String> {
+        Err("kselect is a one-shot selection, not an online queue".into())
+    }
+
+    fn records(&self) -> Vec<OpRecord> {
+        Vec::new()
+    }
+
+    fn residual(&self) -> Vec<Element> {
+        Vec::new()
+    }
+
+    fn result_key(&self) -> Option<Key> {
+        self.result
+    }
+
+    fn issued(&self) -> u64 {
+        0
+    }
+
+    fn completed(&self) -> u64 {
+        0
+    }
+
+    // The selection is "complete" at this node once the result is announced.
+    fn all_complete(&self) -> bool {
+        self.result.is_some()
+    }
+}

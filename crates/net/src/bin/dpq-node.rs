@@ -1,0 +1,42 @@
+//! `dpq-node` — one priority-queue node as an OS process.
+//!
+//! ```text
+//! dpq-node --proto skeap --n 5 --id 2 --seed 42 --n-prios 4 \
+//!          --listen uds:/tmp/n2.sock --ctl uds:/tmp/n2.ctl \
+//!          --peer 0=uds:/tmp/n0.sock --peer 1=uds:/tmp/n1.sock ... \
+//!          [--rto 64] [--tick-ms 2] [--wal n2.wal] [--trace n2.jsonl]
+//! ```
+//!
+//! The process builds its node deterministically from `(proto, n, seed, …)`,
+//! connects to its peers, and serves `dpq-ctl` requests until told to shut
+//! down. See `crates/net` for the runtime itself.
+
+use dpq_net::runtime::NodeRuntime;
+use dpq_net::{NodeConfig, ProtoId};
+use kselect::KSelectNode;
+use seap::SeapNode;
+use skeap::SkeapNode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match NodeConfig::parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("dpq-node: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match cfg.proto {
+        ProtoId::Skeap => NodeRuntime::<SkeapNode>::start(cfg).and_then(NodeRuntime::run),
+        ProtoId::Seap => NodeRuntime::<SeapNode>::start(cfg).and_then(NodeRuntime::run),
+        ProtoId::KSelect => NodeRuntime::<KSelectNode>::start(cfg).and_then(NodeRuntime::run),
+        ProtoId::Ctl => {
+            eprintln!("dpq-node: 'ctl' is not a runnable protocol");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("dpq-node: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Length-prefixed framing and the versioned connection handshake.
+//!
+//! Every connection starts with a [`Hello`] frame and then carries opaque
+//! payload frames: a little-endian `u32` length followed by that many bytes.
+//! Frames above [`MAX_FRAME`] are rejected on both sides — the reader
+//! *before* allocating — so a corrupt or hostile length prefix cannot balloon
+//! memory. The handshake pins four things: the magic, the wire-format
+//! version, the protocol being spoken (a Skeap node must not accept Seap
+//! frames), and a cluster fingerprint derived from the deployment parameters
+//! (`n`, `seed`, …) so two clusters on one host cannot cross-connect.
+
+use std::io::{self, Read, Write};
+
+use crate::wire::{from_bytes, put_varint, to_bytes, Reader, Wire, WireError};
+
+/// First bytes of every connection.
+pub const MAGIC: [u8; 4] = *b"DPQW";
+
+/// Wire-format version. Bump on any codec or framing change.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Hard ceiling on a frame's payload size (1 MiB). Protocol messages are
+/// O(log n) bits; even a full Skeap batch over a large cluster stays far
+/// below this.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Which protocol a connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoId {
+    /// Skeap: constant priority universe, batch cycles.
+    Skeap,
+    /// Seap: arbitrary priorities, phase machine.
+    Seap,
+    /// KSelect: one-shot k-selection.
+    KSelect,
+    /// The control plane (dpq-ctl ↔ dpq-node).
+    Ctl,
+}
+
+impl ProtoId {
+    /// Parse a protocol name as it appears on the CLI.
+    pub fn parse(s: &str) -> Result<ProtoId, String> {
+        match s {
+            "skeap" => Ok(ProtoId::Skeap),
+            "seap" => Ok(ProtoId::Seap),
+            "kselect" => Ok(ProtoId::KSelect),
+            other => Err(format!(
+                "unknown protocol {other:?} (expected skeap, seap, or kselect)"
+            )),
+        }
+    }
+
+    /// The CLI / display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtoId::Skeap => "skeap",
+            ProtoId::Seap => "seap",
+            ProtoId::KSelect => "kselect",
+            ProtoId::Ctl => "ctl",
+        }
+    }
+}
+
+impl Wire for ProtoId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ProtoId::Skeap => 0,
+            ProtoId::Seap => 1,
+            ProtoId::KSelect => 2,
+            ProtoId::Ctl => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ProtoId::Skeap),
+            1 => Ok(ProtoId::Seap),
+            2 => Ok(ProtoId::KSelect),
+            3 => Ok(ProtoId::Ctl),
+            tag => Err(WireError::BadTag {
+                what: "ProtoId",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The handshake frame opening every connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Wire-format version ([`WIRE_VERSION`]).
+    pub version: u64,
+    /// Protocol this connection will carry.
+    pub proto: ProtoId,
+    /// Fingerprint of the deployment parameters (see
+    /// [`cluster_fingerprint`](crate::config::cluster_fingerprint)).
+    pub cluster: u64,
+    /// The connecting node (or `u64::MAX` for a ctl client).
+    pub sender: u64,
+}
+
+impl Wire for Hello {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        put_varint(out, self.version);
+        self.proto.encode(out);
+        put_varint(out, self.cluster);
+        put_varint(out, self.sender);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = r.u8()?;
+        }
+        if magic != MAGIC {
+            return Err(WireError::Frame(format!("bad magic {magic:02x?}")));
+        }
+        Ok(Hello {
+            version: r.varint()?,
+            proto: ProtoId::decode(r)?,
+            cluster: r.varint()?,
+            sender: r.varint()?,
+        })
+    }
+}
+
+impl Hello {
+    /// Validate an inbound hello against what this endpoint expects.
+    pub fn check(&self, proto: ProtoId, cluster: u64) -> Result<(), WireError> {
+        if self.version != WIRE_VERSION {
+            return Err(WireError::Frame(format!(
+                "wire version {} (expected {WIRE_VERSION})",
+                self.version
+            )));
+        }
+        if self.proto != proto {
+            return Err(WireError::Frame(format!(
+                "protocol {} (expected {})",
+                self.proto.name(),
+                proto.name()
+            )));
+        }
+        if self.cluster != cluster {
+            return Err(WireError::Frame(format!(
+                "cluster fingerprint {:#x} (expected {cluster:#x})",
+                self.cluster
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF (the
+/// peer closed between frames); EOF mid-frame and oversized lengths are
+/// errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Write a hello as the connection's first frame.
+pub fn write_hello(w: &mut impl Write, hello: &Hello) -> io::Result<()> {
+    write_frame(w, &to_bytes(hello))
+}
+
+/// Read and validate the connection-opening hello.
+pub fn read_hello(r: &mut impl Read, proto: ProtoId, cluster: u64) -> io::Result<Hello> {
+    let frame = read_frame(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before the handshake"))?;
+    let hello: Hello = from_bytes(&frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    hello
+        .check(proto, cluster)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(hello)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let err = write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME + 1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn handshake_validates_version_proto_and_cluster() {
+        let hello = Hello {
+            version: WIRE_VERSION,
+            proto: ProtoId::Skeap,
+            cluster: 42,
+            sender: 3,
+        };
+        assert!(hello.check(ProtoId::Skeap, 42).is_ok());
+        assert!(hello.check(ProtoId::Seap, 42).is_err(), "wrong protocol");
+        assert!(hello.check(ProtoId::Skeap, 43).is_err(), "wrong cluster");
+        let stale = Hello {
+            version: WIRE_VERSION + 1,
+            ..hello
+        };
+        assert!(stale.check(ProtoId::Skeap, 42).is_err(), "wrong version");
+
+        let mut buf = Vec::new();
+        write_hello(&mut buf, &hello).unwrap();
+        let got = read_hello(&mut Cursor::new(buf), ProtoId::Skeap, 42).unwrap();
+        assert_eq!(got, hello);
+    }
+
+    #[test]
+    fn garbage_handshake_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"NOPE****").unwrap();
+        assert!(read_hello(&mut Cursor::new(buf), ProtoId::Skeap, 0).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! dpq-net: the wire runtime — real sockets under the simulated protocols.
+//!
+//! Everything above the transport is the *same code* the simulator runs:
+//! the `Protocol` nodes (`on_activate`/`on_message`) and the `Reliable`
+//! exactly-once layer are driven unmodified. This crate supplies what the
+//! simulator faked:
+//!
+//! * [`wire`]/[`codec`] — a hand-rolled, panic-free binary codec for every
+//!   protocol message enum (LEB128 varints, one-byte tags);
+//! * [`frame`] — length-prefixed framing with a versioned handshake, so two
+//!   clusters on one host cannot cross-connect;
+//! * [`transport`] — Unix-domain-socket and TCP listeners/connections
+//!   behind one [`Addr`](transport::Addr) type;
+//! * [`peers`] — per-peer writer threads with reconnect/backoff and bounded
+//!   send queues (overflow is message loss, which `Reliable` absorbs);
+//! * [`runtime`] — the single-threaded event loop: ticks, deliveries, and
+//!   control requests, with an optional event-sourced [`wal`] for
+//!   crash-recover;
+//! * [`ctl`] — the `dpq-ctl` control plane (status, enqueue/dequeue, trace
+//!   dump, Prometheus metrics pull, shutdown);
+//! * [`app`] — the [`NetApp`](app::NetApp) glue binding Skeap, Seap, and
+//!   KSelect nodes to the runtime;
+//! * [`trace`] — JSONL op-record traces the wire-conformance harness feeds
+//!   back through the simulator's witness-replay and conservation oracles.
+//!
+//! The binaries `dpq-node` (daemon) and `dpq-ctl` (client) are thin shells
+//! over these modules.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod codec;
+pub mod config;
+pub mod ctl;
+pub mod frame;
+pub mod peers;
+pub mod runtime;
+pub mod trace;
+pub mod transport;
+pub mod wal;
+pub mod wire;
+
+pub use app::NetApp;
+pub use config::{cluster_fingerprint, NodeConfig};
+pub use ctl::{CtlClient, CtlReq, CtlResp, StatusInfo};
+pub use frame::{ProtoId, MAX_FRAME, WIRE_VERSION};
+pub use runtime::{Event, NodeRuntime};
+pub use transport::{Addr, Conn, Listener};
+pub use wire::{from_bytes, to_bytes, Wire, WireError};

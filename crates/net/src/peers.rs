@@ -1,0 +1,383 @@
+//! Peer connection manager: one outbound writer per peer with
+//! reconnect/backoff, one listener fanning inbound frames into the runtime's
+//! event queue.
+//!
+//! Connections are *unidirectional*: node `i` dials node `j` for its `i → j`
+//! traffic, so each ordered pair owns exactly one stream and there is no
+//! simultaneous-open tie to break. A writer that cannot connect (peer not up
+//! yet, peer crashed) retries with exponential backoff; frames queued while
+//! the link is down overflow a bounded queue and are *dropped*, counted in
+//! [`PeerWire::send_drops`] — the `Reliable` layer above retransmits, which
+//! is exactly the fault model it was built for. Nothing here blocks the
+//! runtime thread: `send` is a bounded `try_send`.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::frame::{
+    read_frame, read_hello, write_frame, write_hello, Hello, ProtoId, WIRE_VERSION,
+};
+use crate::transport::{Addr, Conn, Listener};
+use dpq_telemetry::WireMetrics;
+
+/// Per-peer outbound queue depth. Sized for the burst a whole batch cycle
+/// can emit; overflow drops (and counts) rather than blocking the runtime.
+const SEND_QUEUE: usize = 4096;
+
+/// Initial reconnect backoff.
+const BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Backoff ceiling.
+const BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+#[derive(Default)]
+struct PeerCounters {
+    tx_frames: AtomicU64,
+    tx_bytes: AtomicU64,
+    reconnects: AtomicU64,
+    send_drops: AtomicU64,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    /// Outbound counters, fixed key set (one entry per configured peer).
+    tx: BTreeMap<u64, PeerCounters>,
+    /// Inbound counters keyed by the sender a hello announced.
+    rx: Mutex<BTreeMap<u64, (u64, u64)>>,
+}
+
+/// Runs the socket threads for one node: outbound writers with
+/// reconnect/backoff, an accept loop, and per-connection readers pushing
+/// `(from, frame)` pairs into the runtime's queue.
+pub struct PeerManager {
+    senders: BTreeMap<u64, mpsc::SyncSender<Vec<u8>>>,
+    shared: Arc<Shared>,
+}
+
+impl PeerManager {
+    /// Bind `listen`, start the accept loop, and start one writer thread per
+    /// entry of `peers`. Inbound frames arrive on `inbox` as
+    /// `(sender, payload)`.
+    pub fn start(
+        me: u64,
+        proto: ProtoId,
+        cluster: u64,
+        listen: &Addr,
+        peers: &BTreeMap<u64, Addr>,
+        inbox: mpsc::Sender<(u64, Vec<u8>)>,
+    ) -> std::io::Result<PeerManager> {
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            tx: peers
+                .keys()
+                .map(|&p| (p, PeerCounters::default()))
+                .collect(),
+            rx: Mutex::new(BTreeMap::new()),
+        });
+
+        let listener = Listener::bind(listen)?;
+        {
+            let shared = Arc::clone(&shared);
+            let inbox = inbox.clone();
+            thread::spawn(move || accept_loop(listener, proto, cluster, shared, inbox));
+        }
+
+        let mut senders = BTreeMap::new();
+        for (&peer, addr) in peers {
+            let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(SEND_QUEUE);
+            senders.insert(peer, tx);
+            let addr = addr.clone();
+            let shared = Arc::clone(&shared);
+            let hello = Hello {
+                version: WIRE_VERSION,
+                proto,
+                cluster,
+                sender: me,
+            };
+            thread::spawn(move || writer_loop(peer, addr, hello, shared, rx));
+        }
+
+        Ok(PeerManager { senders, shared })
+    }
+
+    /// Queue a frame for `dst`. Never blocks; a full or torn-down queue
+    /// drops the frame and counts it (the reliable layer retransmits).
+    pub fn send(&self, dst: u64, frame: Vec<u8>) {
+        let Some(sender) = self.senders.get(&dst) else {
+            return;
+        };
+        if sender.try_send(frame).is_err() {
+            if let Some(c) = self.shared.tx.get(&dst) {
+                c.send_drops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot the per-peer counters (ack-RTT histograms are recorded by
+    /// the runtime, not here).
+    pub fn wire_metrics(&self) -> WireMetrics {
+        let mut w = WireMetrics::new();
+        for (&peer, c) in &self.shared.tx {
+            let pw = w.peer_mut(peer);
+            pw.tx_frames = c.tx_frames.load(Ordering::Relaxed);
+            pw.tx_bytes = c.tx_bytes.load(Ordering::Relaxed);
+            pw.reconnects = c.reconnects.load(Ordering::Relaxed);
+            pw.send_drops = c.send_drops.load(Ordering::Relaxed);
+        }
+        for (&peer, &(frames, bytes)) in self.shared.rx.lock().unwrap().iter() {
+            let pw = w.peer_mut(peer);
+            pw.rx_frames = frames;
+            pw.rx_bytes = bytes;
+        }
+        w
+    }
+
+    /// Ask every thread to wind down. Threads notice within one backoff /
+    /// read-timeout interval; process exit reaps whatever is left.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn writer_loop(
+    peer: u64,
+    addr: Addr,
+    hello: Hello,
+    shared: Arc<Shared>,
+    rx: mpsc::Receiver<Vec<u8>>,
+) {
+    let mut connected_before = false;
+    let mut backoff = BACKOFF_MIN;
+    'reconnect: while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut conn = match Conn::connect(&addr) {
+            Ok(c) => c,
+            Err(_) => {
+                // Drain whatever queued while down so the runtime never
+                // blocks; count the drops.
+                let mut dropped = 0;
+                while rx.try_recv().is_ok() {
+                    dropped += 1;
+                }
+                if dropped > 0 {
+                    if let Some(c) = shared.tx.get(&peer) {
+                        c.send_drops.fetch_add(dropped, Ordering::Relaxed);
+                    }
+                }
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+                continue;
+            }
+        };
+        backoff = BACKOFF_MIN;
+        if write_hello(&mut conn, &hello)
+            .and_then(|_| conn.flush())
+            .is_err()
+        {
+            thread::sleep(backoff);
+            continue;
+        }
+        if connected_before {
+            if let Some(c) = shared.tx.get(&peer) {
+                c.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        connected_before = true;
+
+        loop {
+            let frame = match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(f) => f,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            };
+            let len = frame.len() as u64;
+            if write_frame(&mut conn, &frame)
+                .and_then(|_| conn.flush())
+                .is_err()
+            {
+                if let Some(c) = shared.tx.get(&peer) {
+                    c.send_drops.fetch_add(1, Ordering::Relaxed);
+                }
+                continue 'reconnect;
+            }
+            if let Some(c) = shared.tx.get(&peer) {
+                c.tx_frames.fetch_add(1, Ordering::Relaxed);
+                c.tx_bytes.fetch_add(len, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    proto: ProtoId,
+    cluster: u64,
+    shared: Arc<Shared>,
+    inbox: mpsc::Sender<(u64, Vec<u8>)>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let shared = Arc::clone(&shared);
+        let inbox = inbox.clone();
+        thread::spawn(move || reader_loop(conn, proto, cluster, shared, inbox));
+    }
+}
+
+fn reader_loop(
+    mut conn: Conn,
+    proto: ProtoId,
+    cluster: u64,
+    shared: Arc<Shared>,
+    inbox: mpsc::Sender<(u64, Vec<u8>)>,
+) {
+    // A bounded handshake wait so a half-open connection cannot pin the
+    // thread; after the hello the link blocks with a timeout so shutdown is
+    // noticed.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let from = match read_hello(&mut conn, proto, cluster) {
+        Ok(h) => h.sender,
+        Err(_) => return,
+    };
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut conn) {
+            Ok(Some(payload)) => {
+                {
+                    let mut rx = shared.rx.lock().unwrap();
+                    let e = rx.entry(from).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += payload.len() as u64;
+                }
+                if inbox.send((from, payload)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_sock(name: &str) -> Addr {
+        let dir = std::env::temp_dir();
+        Addr::Uds(dir.join(format!("dpq-peers-{}-{name}.sock", std::process::id())))
+    }
+
+    #[test]
+    fn frames_flow_between_two_managers() {
+        let a_addr = temp_sock("a");
+        let b_addr = temp_sock("b");
+        let (a_in, a_rx) = mpsc::channel();
+        let (b_in, b_rx) = mpsc::channel();
+        let a = PeerManager::start(
+            0,
+            ProtoId::Skeap,
+            7,
+            &a_addr,
+            &BTreeMap::from([(1u64, b_addr.clone())]),
+            a_in,
+        )
+        .unwrap();
+        let b = PeerManager::start(
+            1,
+            ProtoId::Skeap,
+            7,
+            &b_addr,
+            &BTreeMap::from([(0u64, a_addr.clone())]),
+            b_in,
+        )
+        .unwrap();
+
+        a.send(1, vec![1, 2, 3]);
+        let (from, payload) = b_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((from, payload), (0, vec![1, 2, 3]));
+
+        b.send(0, vec![9]);
+        let (from, payload) = a_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((from, payload), (1, vec![9]));
+
+        let wm = a.wire_metrics();
+        assert_eq!(wm.peer(1).unwrap().tx_frames, 1);
+        assert_eq!(wm.peer(1).unwrap().tx_bytes, 3);
+        assert_eq!(wm.peer(1).unwrap().rx_frames, 1);
+
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn sends_before_the_peer_exists_are_dropped_not_blocking() {
+        let addr = temp_sock("lonely");
+        let peer_addr = temp_sock("ghost");
+        let (tx, _rx) = mpsc::channel();
+        let m = PeerManager::start(
+            0,
+            ProtoId::Seap,
+            1,
+            &addr,
+            &BTreeMap::from([(1u64, peer_addr)]),
+            tx,
+        )
+        .unwrap();
+        // Never blocks even though peer 1 is down.
+        for i in 0..SEND_QUEUE + 10 {
+            m.send(1, vec![i as u8]);
+        }
+        m.shutdown();
+    }
+
+    #[test]
+    fn cross_cluster_connections_are_refused() {
+        let a_addr = temp_sock("x1");
+        let b_addr = temp_sock("x2");
+        let (a_in, _a_rx) = mpsc::channel();
+        let (b_in, b_rx) = mpsc::channel();
+        // b expects cluster 99; a dials with cluster 7 → b's reader drops
+        // the connection at the handshake and no frame is ever delivered.
+        let a = PeerManager::start(
+            0,
+            ProtoId::Skeap,
+            7,
+            &a_addr,
+            &BTreeMap::from([(1u64, b_addr.clone())]),
+            a_in,
+        )
+        .unwrap();
+        let b = PeerManager::start(
+            1,
+            ProtoId::Skeap,
+            99,
+            &b_addr,
+            &BTreeMap::from([(0u64, a_addr.clone())]),
+            b_in,
+        )
+        .unwrap();
+        a.send(1, vec![5]);
+        assert!(b_rx.recv_timeout(Duration::from_millis(800)).is_err());
+        a.shutdown();
+        b.shutdown();
+    }
+}

@@ -1,0 +1,369 @@
+//! The node runtime: drives one `Reliable<P>` over real sockets.
+//!
+//! A single event loop owns the node. Peer reader threads and control
+//! connections feed one queue; the loop interleaves three kinds of turns:
+//!
+//! * **tick** — every `tick_ms` the logical clock advances and the node is
+//!   activated, exactly the simulator's periodic-activation model. The
+//!   `Reliable` layer's retransmission timeout is measured in these ticks.
+//! * **delivery** — an inbound frame is decoded and delivered via
+//!   `on_message`. Undecodable frames are counted and dropped — to the
+//!   protocol that is just message loss, which the transport absorbs.
+//! * **control** — a `dpq-ctl` request (status / enqueue / dequeue / dump /
+//!   metrics / shutdown) runs between node turns, so the control plane can
+//!   never observe a half-applied protocol step.
+//!
+//! With `--wal` every input is appended to the write-ahead log *before* the
+//! node processes it, and outbound frames are flushed only *after* the
+//! append (see [`crate::wal`] for the recovery argument). On restart the
+//! log replays through a fresh node with outputs suppressed, then the loop
+//! resumes at the recorded tick.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::app::NetApp;
+use crate::config::NodeConfig;
+use crate::ctl::{serve_ctl, CtlReq, CtlResp, StatusInfo};
+use crate::peers::PeerManager;
+use crate::trace::render_trace;
+use crate::transport::Listener;
+use crate::wal::{CtlOpKind, Wal, WalEntry};
+use crate::wire::{from_bytes, to_bytes, RawBytes, Wire};
+use dpq_core::{NodeId, OpId};
+use dpq_sim::{Ctx, CtxEvent, Hub, LogHistogram, Protocol, Reliable, ReliableMsg};
+use dpq_telemetry::{prometheus_text, prometheus_wire_text};
+
+/// One unit of work for the runtime's event loop.
+pub enum Event {
+    /// An inbound peer frame: `(sender, payload)`.
+    Net(u64, Vec<u8>),
+    /// A control request and where to send its response.
+    Ctl(CtlReq, mpsc::Sender<CtlResp>),
+}
+
+/// The runtime driving one node. Generic over the protocol via [`NetApp`].
+pub struct NodeRuntime<P: NetApp>
+where
+    P::Msg: Clone + Wire,
+{
+    cfg: NodeConfig,
+    node: Reliable<P>,
+    /// Logical clock: advances once per activation tick (not per delivery),
+    /// so the retransmission timeout keeps its "activations since last
+    /// send" meaning from the simulator.
+    now: u64,
+    wal: Option<Wal>,
+    peers: PeerManager,
+    events: mpsc::Receiver<Event>,
+    /// Self-addressed frames re-enter the event queue here: the protocols
+    /// freely send to their own node (the simulator delivers those like any
+    /// other message), but no peer connection exists for `me`.
+    loopback: mpsc::Sender<Event>,
+    /// `(dst, seq) → tick of last transmission`, for per-peer ack RTT.
+    rtt_pending: BTreeMap<(u64, u64), u64>,
+    /// Per-peer ack RTT histograms (ticks).
+    ack_rtt: BTreeMap<u64, LogHistogram>,
+    /// `op → issue tick`, for the op-latency histogram.
+    op_issued: BTreeMap<OpId, u64>,
+    op_latency: LogHistogram,
+    rx_decode_errors: u64,
+}
+
+impl<P: NetApp> NodeRuntime<P>
+where
+    P::Msg: Clone + Wire,
+{
+    /// Build the node (replaying the WAL if one is configured), bind both
+    /// listeners, and connect to the peers.
+    pub fn start(cfg: NodeConfig) -> io::Result<Self> {
+        let inner = P::build(&cfg).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let mut node = Reliable::new(inner, cfg.rto_ticks);
+        node.enable_rtt_histogram();
+
+        let me = NodeId(cfg.me);
+        let mut now = 0u64;
+        let wal = match &cfg.wal {
+            None => None,
+            Some(path) => {
+                let (wal, entries) = Wal::open(path)?;
+                if let Some(last) = entries.last() {
+                    now = last.now() + 1;
+                }
+                for entry in &entries {
+                    replay_entry(&mut node, me, entry);
+                }
+                Some(wal)
+            }
+        };
+
+        let (events_tx, events_rx) = mpsc::channel::<Event>();
+
+        // Bridge the peer manager's (from, bytes) channel into the event
+        // queue.
+        let (net_tx, net_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+        {
+            let events_tx = events_tx.clone();
+            std::thread::spawn(move || {
+                while let Ok((from, bytes)) = net_rx.recv() {
+                    if events_tx.send(Event::Net(from, bytes)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        let fingerprint = cfg.fingerprint();
+        let peers = PeerManager::start(
+            cfg.me,
+            P::PROTO,
+            fingerprint,
+            &cfg.listen,
+            &cfg.peers,
+            net_tx,
+        )?;
+
+        let ctl_listener = Listener::bind(&cfg.ctl)?;
+        {
+            let events_tx = events_tx.clone();
+            std::thread::spawn(move || serve_ctl(ctl_listener, fingerprint, events_tx));
+        }
+
+        Ok(NodeRuntime {
+            cfg,
+            node,
+            now,
+            wal,
+            peers,
+            events: events_rx,
+            loopback: events_tx,
+            rtt_pending: BTreeMap::new(),
+            ack_rtt: BTreeMap::new(),
+            op_issued: BTreeMap::new(),
+            op_latency: LogHistogram::new(),
+            rx_decode_errors: 0,
+        })
+    }
+
+    /// Run until a `Shutdown` request arrives.
+    pub fn run(mut self) -> io::Result<()> {
+        let tick = Duration::from_millis(self.cfg.tick_ms.max(1));
+        let mut next_tick = Instant::now() + tick;
+        loop {
+            if Instant::now() >= next_tick {
+                self.on_tick()?;
+                next_tick = Instant::now() + tick;
+            }
+            let timeout = next_tick.saturating_duration_since(Instant::now());
+            match self.events.recv_timeout(timeout) {
+                Ok(Event::Net(from, bytes)) => self.on_net(from, bytes)?,
+                Ok(Event::Ctl(req, reply)) => {
+                    let stop = self.on_ctl(req, &reply)?;
+                    if stop {
+                        self.peers.shutdown();
+                        return Ok(());
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+
+    fn log(&mut self, entry: &WalEntry) -> io::Result<()> {
+        match &mut self.wal {
+            Some(wal) => wal.append(entry),
+            None => Ok(()),
+        }
+    }
+
+    fn on_tick(&mut self) -> io::Result<()> {
+        self.now += 1;
+        self.log(&WalEntry::Activate { now: self.now })?;
+        let mut ctx = Ctx::new(NodeId(self.cfg.me), self.now);
+        self.node.on_activate(&mut ctx);
+        self.flush(ctx);
+        Ok(())
+    }
+
+    fn on_net(&mut self, from: u64, bytes: Vec<u8>) -> io::Result<()> {
+        let msg: ReliableMsg<P::Msg> = match from_bytes(&bytes) {
+            Ok(m) => m,
+            Err(_) => {
+                self.rx_decode_errors += 1;
+                return Ok(());
+            }
+        };
+        self.log(&WalEntry::Deliver {
+            now: self.now,
+            from,
+            frame: RawBytes(bytes),
+        })?;
+        if let ReliableMsg::Ack { seq } = &msg {
+            if let Some(sent) = self.rtt_pending.remove(&(from, *seq)) {
+                self.ack_rtt
+                    .entry(from)
+                    .or_default()
+                    .record(self.now.saturating_sub(sent));
+            }
+        }
+        let mut ctx = Ctx::new(NodeId(self.cfg.me), self.now);
+        self.node.on_message(NodeId(from), msg, &mut ctx);
+        self.flush(ctx);
+        Ok(())
+    }
+
+    /// Encode and hand the node's buffered sends to the peer threads, and
+    /// absorb its telemetry notes. Called only after the triggering input
+    /// was logged.
+    fn flush(&mut self, mut ctx: Ctx<ReliableMsg<P::Msg>>) {
+        for env in ctx.take_outbox() {
+            if let ReliableMsg::Data { seq, .. } = &env.msg {
+                self.rtt_pending.insert((env.dst.0, *seq), self.now);
+            }
+            let bytes = to_bytes(&env.msg);
+            if env.dst.0 == self.cfg.me {
+                let _ = self.loopback.send(Event::Net(self.cfg.me, bytes));
+            } else {
+                self.peers.send(env.dst.0, bytes);
+            }
+        }
+        for ev in ctx.drain_events() {
+            if let CtxEvent::OpDone { op } = ev {
+                if let Some(issued) = self.op_issued.remove(&op) {
+                    self.op_latency.record(self.now.saturating_sub(issued));
+                }
+            }
+        }
+    }
+
+    fn status(&self) -> StatusInfo {
+        let inner = self.node.inner();
+        StatusInfo {
+            node: self.cfg.me,
+            proto: P::PROTO.name().to_string(),
+            issued: inner.issued(),
+            completed: inner.completed(),
+            all_complete: inner.all_complete(),
+            result: inner.result_key(),
+            ticks: self.now,
+            retransmits: self.node.stats.retransmits,
+            dup_suppressed: self.node.stats.dup_suppressed,
+            unacked: self.node.unacked() as u64,
+        }
+    }
+
+    fn metrics_text(&self) -> String {
+        let mut hub = Hub::new();
+        self.node.export_telemetry(&mut hub);
+        {
+            use dpq_sim::Telemetry;
+            let id = hub.register_counter("net.rx_decode_errors");
+            hub.counter_add(id, self.rx_decode_errors);
+            let op = hub.register_histogram("net.op_latency_ticks");
+            hub.hist_merge(op, &self.op_latency);
+        }
+        let mut wire = self.peers.wire_metrics();
+        for (&peer, hist) in &self.ack_rtt {
+            wire.peer_mut(peer).ack_rtt.merge(hist);
+        }
+        wire.fold_into(&mut hub);
+        let mut text = prometheus_text(&hub);
+        text.push_str(&prometheus_wire_text(&wire));
+        text
+    }
+
+    /// Handle one control request; `true` means shut down.
+    fn on_ctl(&mut self, req: CtlReq, reply: &mpsc::Sender<CtlResp>) -> io::Result<bool> {
+        let resp = match req {
+            CtlReq::Status => CtlResp::Status(self.status()),
+            CtlReq::Enqueue { prio, payload } => {
+                self.log(&WalEntry::CtlOp {
+                    now: self.now,
+                    op: CtlOpKind::Insert { prio, payload },
+                })?;
+                match self.node.inner_mut().enqueue(prio, payload) {
+                    Ok(id) => {
+                        self.op_issued.insert(id, self.now);
+                        CtlResp::Issued {
+                            node: id.node.0,
+                            seq: id.seq,
+                        }
+                    }
+                    Err(e) => CtlResp::Error(e),
+                }
+            }
+            CtlReq::Dequeue => {
+                self.log(&WalEntry::CtlOp {
+                    now: self.now,
+                    op: CtlOpKind::DeleteMin,
+                })?;
+                match self.node.inner_mut().dequeue() {
+                    Ok(id) => {
+                        self.op_issued.insert(id, self.now);
+                        CtlResp::Issued {
+                            node: id.node.0,
+                            seq: id.seq,
+                        }
+                    }
+                    Err(e) => CtlResp::Error(e),
+                }
+            }
+            CtlReq::Dump => match &self.cfg.trace {
+                None => CtlResp::Error("no --trace path configured".into()),
+                Some(path) => {
+                    let inner = self.node.inner();
+                    let records = inner.records();
+                    let residual = inner.residual();
+                    match std::fs::write(path, render_trace(&records, &residual)) {
+                        Ok(()) => CtlResp::Dumped {
+                            records: records.len() as u64,
+                        },
+                        Err(e) => CtlResp::Error(format!("writing trace: {e}")),
+                    }
+                }
+            },
+            CtlReq::Metrics => CtlResp::Metrics(self.metrics_text()),
+            CtlReq::Shutdown => {
+                let _ = reply.send(CtlResp::Bye);
+                // The reply travels through a channel to the connection
+                // thread, which still has to write the frame; exiting
+                // immediately would close the socket under it and the
+                // client would see "daemon closed" instead of Bye.
+                std::thread::sleep(Duration::from_millis(100));
+                return Ok(true);
+            }
+        };
+        let _ = reply.send(resp);
+        Ok(false)
+    }
+}
+
+/// Re-apply one logged input to a fresh node, outputs suppressed. Anything
+/// the original run sent either was acked (so the peer moved on), is still
+/// in `tx.unacked` after replay (so it retransmits), or was an ack a peer
+/// will re-earn by retransmitting its data frame.
+fn replay_entry<P: NetApp>(node: &mut Reliable<P>, me: NodeId, entry: &WalEntry)
+where
+    P::Msg: Clone + Wire,
+{
+    match entry {
+        WalEntry::Activate { now } => {
+            let mut ctx = Ctx::new(me, *now);
+            node.on_activate(&mut ctx);
+        }
+        WalEntry::Deliver { now, from, frame } => {
+            if let Ok(msg) = from_bytes::<ReliableMsg<P::Msg>>(&frame.0) {
+                let mut ctx = Ctx::new(me, *now);
+                node.on_message(NodeId(*from), msg, &mut ctx);
+            }
+        }
+        WalEntry::CtlOp { now: _, op } => {
+            let _ = match op {
+                CtlOpKind::Insert { prio, payload } => node.inner_mut().enqueue(*prio, *payload),
+                CtlOpKind::DeleteMin => node.inner_mut().dequeue(),
+            };
+        }
+    }
+}

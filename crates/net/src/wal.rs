@@ -1,0 +1,268 @@
+//! Event-sourced write-ahead log: crash-recover for an in-memory node.
+//!
+//! The protocol nodes keep all state in memory; a SIGKILL would normally
+//! lose it. Instead of snapshotting opaque state, the runtime logs every
+//! *input* — activations, delivered raw frames, control-plane operations —
+//! to an append-only file **before** acting on it, and flushes its own
+//! outbound frames only **after** the append. On restart the runtime
+//! replays the log through a fresh node (outputs suppressed) and resumes
+//! from the recorded tick. That ordering makes the recovery argument purely
+//! a transport argument:
+//!
+//! * any frame a peer sent that we processed is in the log → replay
+//!   re-derives its effects (and its acks are re-sent on demand, because
+//!   peers retransmit anything unacked);
+//! * any frame we *sent* but whose effects were not logged cannot exist:
+//!   sends happen after the append, so a send implies its cause is durable;
+//! * anything in flight at the kill is simply a lossy network from the
+//!   `Reliable` layer's point of view — retransmit + dedup absorb it.
+//!
+//! A torn tail (killed mid-append) is detected by the length-prefixed
+//! entry framing and truncated away; `write` without `fsync` is durable
+//! against process kill (the bytes live in the page cache), which is the
+//! fault model here — the fault matrix's crash-recover cell, not power loss.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::wire::{from_bytes, put_varint, to_bytes, RawBytes, Reader, Wire, WireError};
+
+/// One logged input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEntry {
+    /// The node was activated at logical tick `now`.
+    Activate {
+        /// Logical tick of the activation.
+        now: u64,
+    },
+    /// A wire frame from `from` was accepted at tick `now`. The payload is
+    /// the raw frame so replay decodes it exactly as the live path did.
+    Deliver {
+        /// Logical tick of the delivery.
+        now: u64,
+        /// Sending node.
+        from: u64,
+        /// The undecoded frame payload.
+        frame: RawBytes,
+    },
+    /// A control-plane operation was issued at tick `now`.
+    CtlOp {
+        /// Logical tick of the issue.
+        now: u64,
+        /// What was issued.
+        op: CtlOpKind,
+    },
+}
+
+/// The loggable control-plane operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlOpKind {
+    /// `Insert(prio, payload)`.
+    Insert {
+        /// The element's priority.
+        prio: u64,
+        /// The element's payload.
+        payload: u64,
+    },
+    /// `DeleteMin()`.
+    DeleteMin,
+}
+
+impl Wire for CtlOpKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CtlOpKind::Insert { prio, payload } => {
+                out.push(0);
+                put_varint(out, *prio);
+                put_varint(out, *payload);
+            }
+            CtlOpKind::DeleteMin => out.push(1),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(CtlOpKind::Insert {
+                prio: r.varint()?,
+                payload: r.varint()?,
+            }),
+            1 => Ok(CtlOpKind::DeleteMin),
+            tag => Err(WireError::BadTag {
+                what: "CtlOpKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WalEntry {
+    /// The logical tick this entry was logged at.
+    pub fn now(&self) -> u64 {
+        match self {
+            WalEntry::Activate { now }
+            | WalEntry::Deliver { now, .. }
+            | WalEntry::CtlOp { now, .. } => *now,
+        }
+    }
+}
+
+impl Wire for WalEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalEntry::Activate { now } => {
+                out.push(0);
+                put_varint(out, *now);
+            }
+            WalEntry::Deliver { now, from, frame } => {
+                out.push(1);
+                put_varint(out, *now);
+                put_varint(out, *from);
+                frame.encode(out);
+            }
+            WalEntry::CtlOp { now, op } => {
+                out.push(2);
+                put_varint(out, *now);
+                op.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WalEntry::Activate { now: r.varint()? }),
+            1 => Ok(WalEntry::Deliver {
+                now: r.varint()?,
+                from: r.varint()?,
+                frame: RawBytes::decode(r)?,
+            }),
+            2 => Ok(WalEntry::CtlOp {
+                now: r.varint()?,
+                op: CtlOpKind::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "WalEntry",
+                tag,
+            }),
+        }
+    }
+}
+
+/// An open write-ahead log, positioned for appending.
+pub struct Wal {
+    file: File,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, read back every complete entry,
+    /// truncate any torn tail, and leave the file positioned for appends.
+    pub fn open(path: &Path) -> std::io::Result<(Wal, Vec<WalEntry>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        while bytes.len() - pos >= 4 {
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
+            if bytes.len() - pos - 4 < len {
+                break; // torn tail: length written, payload incomplete
+            }
+            match from_bytes::<WalEntry>(&bytes[pos + 4..pos + 4 + len]) {
+                Ok(e) => entries.push(e),
+                Err(_) => break, // torn or corrupt payload: stop here
+            }
+            pos += 4 + len;
+        }
+        file.set_len(pos as u64)?;
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok((Wal { file }, entries))
+    }
+
+    /// Append one entry and push it to the OS (durable against process
+    /// kill). Callers act on the input only after this returns.
+    pub fn append(&mut self, entry: &WalEntry) -> std::io::Result<()> {
+        let payload = to_bytes(entry);
+        let mut rec = Vec::with_capacity(payload.len() + 4);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.file.write_all(&rec)?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dpq-wal-{}-{name}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn entries_survive_reopen() {
+        let path = temp_wal("reopen");
+        let _ = std::fs::remove_file(&path);
+        let entries = vec![
+            WalEntry::Activate { now: 1 },
+            WalEntry::Deliver {
+                now: 2,
+                from: 4,
+                frame: RawBytes(vec![1, 2, 3]),
+            },
+            WalEntry::CtlOp {
+                now: 3,
+                op: CtlOpKind::Insert {
+                    prio: 1,
+                    payload: 9,
+                },
+            },
+            WalEntry::CtlOp {
+                now: 4,
+                op: CtlOpKind::DeleteMin,
+            },
+        ];
+        {
+            let (mut wal, read) = Wal::open(&path).unwrap();
+            assert!(read.is_empty());
+            for e in &entries {
+                wal.append(e).unwrap();
+            }
+        }
+        let (_, read) = Wal::open(&path).unwrap();
+        assert_eq!(read, entries);
+        assert_eq!(read.last().unwrap().now(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let path = temp_wal("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&WalEntry::Activate { now: 1 }).unwrap();
+            wal.append(&WalEntry::Activate { now: 2 }).unwrap();
+        }
+        // Simulate a kill mid-append: chop bytes off the tail.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (mut wal, read) = Wal::open(&path).unwrap();
+        assert_eq!(read, vec![WalEntry::Activate { now: 1 }]);
+        wal.append(&WalEntry::Activate { now: 5 }).unwrap();
+        let (_, read) = Wal::open(&path).unwrap();
+        assert_eq!(
+            read,
+            vec![WalEntry::Activate { now: 1 }, WalEntry::Activate { now: 5 }]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

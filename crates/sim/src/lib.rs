@@ -38,7 +38,7 @@ pub use metrics::{
     KindStat, LatencySummary, Metrics, MetricsDelta, MetricsSnapshot, RoundSample, RoundWindow,
 };
 pub use policy::{DeliveryPolicy, RandomAdversary, StepChoice};
-pub use protocol::{Ctx, Protocol};
+pub use protocol::{Ctx, CtxEvent, Protocol};
 pub use reliable::{Reliable, ReliableMsg, ReliableStats};
 pub use sched_async::{AsyncConfig, AsyncScheduler};
 pub use sched_sync::{RunOutcome, SyncScheduler};

@@ -3,13 +3,13 @@
 use crate::envelope::Envelope;
 use dpq_core::{BitSize, NodeId, OpId};
 
-/// A telemetry note a protocol leaves in its [`Ctx`] for the scheduler.
+/// A telemetry note a protocol leaves in its [`Ctx`] for its runtime.
 ///
-/// Scheduler turns drain these after each node runs: phase marks flow to the
-/// tracer, operation completions additionally close the op's latency window
-/// in the metrics.
+/// Runtime turns (a scheduler round or a socket-runtime tick) drain these
+/// after each node runs: phase marks flow to the tracer, operation
+/// completions additionally close the op's latency window in the metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum CtxEvent {
+pub enum CtxEvent {
     /// A named protocol phase boundary.
     Phase {
         /// Phase label (e.g. `"skeap.batch"`).
@@ -64,7 +64,13 @@ pub struct Ctx<M> {
 }
 
 impl<M: BitSize> Ctx<M> {
-    pub(crate) fn new(me: NodeId, now: u64) -> Self {
+    /// A fresh context for node `me` at logical time `now`.
+    ///
+    /// The schedulers thread recycled buffers through [`Ctx::from_bufs`]
+    /// instead; this constructor is for runtimes that drive [`Protocol`]
+    /// nodes outside the simulator (e.g. the socket runtime in `dpq-net`),
+    /// and for tests.
+    pub fn new(me: NodeId, now: u64) -> Self {
         Ctx {
             me,
             now,
@@ -139,16 +145,17 @@ impl<M: BitSize> Ctx<M> {
     }
 
     /// Drain the buffered sends in order, keeping the vector's capacity.
-    pub(crate) fn drain_outbox(&mut self) -> std::vec::Drain<'_, Envelope<M>> {
+    pub fn drain_outbox(&mut self) -> std::vec::Drain<'_, Envelope<M>> {
         self.outbox.drain(..)
     }
 
     /// Drain the telemetry notes in order, keeping the vector's capacity.
-    pub(crate) fn drain_events(&mut self) -> std::vec::Drain<'_, CtxEvent> {
+    pub fn drain_events(&mut self) -> std::vec::Drain<'_, CtxEvent> {
         self.events.drain(..)
     }
 
-    pub(crate) fn take_outbox(&mut self) -> Vec<Envelope<M>> {
+    /// Take the buffered sends, leaving an empty outbox behind.
+    pub fn take_outbox(&mut self) -> Vec<Envelope<M>> {
         std::mem::take(&mut self.outbox)
     }
 

@@ -31,6 +31,7 @@ pub mod export;
 pub mod hist;
 pub mod series;
 pub mod sink;
+pub mod wire;
 
 pub use export::{
     hub_to_json, json_escape, parse_prometheus, prometheus_text, render_exposition, Exposition,
@@ -41,3 +42,4 @@ pub use series::RingSeries;
 pub use sink::{
     CounterId, FaultTotals, GaugeId, HistId, Hub, KindTotals, NullTelemetry, Telemetry,
 };
+pub use wire::{prometheus_wire_text, PeerWire, WireMetrics};

@@ -8,8 +8,11 @@
 //!
 //! Semantics: each property runs `cases` deterministic pseudo-random cases
 //! (seeded per test from a fixed constant, so failures replay). There is no
-//! shrinking and no failure persistence — a failing case panics with the
-//! generated inputs' debug representation instead.
+//! shrinking and no automatic failure persistence — instead, a failing case
+//! panics with the generated inputs formatted as a ready-to-commit
+//! `cc <hash> # shrinks to k = v, ...` line for the suite's
+//! `*.proptest-regressions` file, in exactly the shape
+//! `tests/regressions.rs` parses and replays.
 
 use std::fmt;
 
@@ -316,6 +319,23 @@ pub mod prelude {
 pub mod runner {
     use super::*;
 
+    /// A stable 256-bit-looking token for the emitted `cc` line. Real
+    /// proptest hashes its seed; the replay machinery treats the hash as
+    /// documentation only, so FNV over the test name and inputs (four
+    /// salted lanes) is sufficient — it just has to be deterministic.
+    fn cc_hash(name: &str, inputs: &str) -> String {
+        let mut out = String::with_capacity(64);
+        for salt in 0u64..4 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for b in name.bytes().chain(inputs.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            out.push_str(&format!("{h:016x}"));
+        }
+        out
+    }
+
     /// Drive one property: keep drawing cases until `config.cases` pass.
     ///
     /// `body` generates inputs from the rng and runs the property, returning
@@ -345,7 +365,15 @@ pub mod runner {
                     }
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!("{name}: case #{passed} failed: {msg}\n  inputs: {inputs}");
+                    let hash = cc_hash(name, &inputs);
+                    panic!(
+                        "{name}: case #{passed} failed: {msg}\n  \
+                         inputs: {inputs}\n  \
+                         to pin this case, append the line below to the \
+                         suite's *.proptest-regressions file and write a \
+                         replay arm in tests/regressions.rs:\n  \
+                         cc {hash} # shrinks to {inputs}"
+                    );
                 }
             }
         }
@@ -374,10 +402,18 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
             $crate::runner::run_cases(stringify!($name), &config, |rng| {
+                // Format inputs as `name = value, ...` — the exact shape a
+                // committed `cc` line's shrink comment uses, so the failure
+                // message can emit one verbatim.
+                let mut parts: Vec<String> = Vec::new();
                 let generated = (
-                    $($crate::strategy::Strategy::generate(&($strat), rng),)*
+                    $({
+                        let v = $crate::strategy::Strategy::generate(&($strat), rng);
+                        parts.push(format!("{} = {:?}", stringify!($pat), &v));
+                        v
+                    },)*
                 );
-                let inputs = format!("{:?}", &generated);
+                let inputs = parts.join(", ");
                 let ($($pat,)*) = generated;
                 let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
                 (inputs, outcome)
@@ -481,6 +517,37 @@ mod tests {
         fn assume_rejects_without_failing(x in 0u64..100) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    // No `#[test]` attribute: generated as a plain fn so the test below can
+    // call it under catch_unwind and inspect the failure message.
+    proptest! {
+        fn always_fails(x in 0u64..100, ratio in 0.0f64..1.0) {
+            prop_assert!(x > 1_000, "x = {} never exceeds 1000", x);
+            let _ = ratio;
+        }
+    }
+
+    #[test]
+    fn failure_emits_committable_cc_line() {
+        let err = std::panic::catch_unwind(always_fails).expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        let cc = msg.lines().last().expect("non-empty message").trim();
+        // The last line must be appendable to a *.proptest-regressions file
+        // verbatim, in the shape tests/regressions.rs parses.
+        assert!(cc.starts_with("cc "), "no cc line in:\n{msg}");
+        let (hash, shrink) = cc[3..]
+            .split_once(" # shrinks to ")
+            .unwrap_or_else(|| panic!("malformed cc line: {cc}"));
+        assert_eq!(hash.len(), 64, "hash is not 64 hex chars: {hash}");
+        assert!(hash.bytes().all(|b| b.is_ascii_hexdigit()));
+        for kv in shrink.split(", ") {
+            let (k, v) = kv.split_once(" = ").expect("k = v assignment");
+            assert!(k == "x" || k == "ratio", "unexpected param {k}");
+            assert!(!v.is_empty());
         }
     }
 

@@ -6,6 +6,7 @@
 #   ./scripts/check.sh perf      # the above, plus the performance tier
 #   ./scripts/check.sh mc        # the above, plus schedule-space model checking
 #   ./scripts/check.sh coverage  # the above, plus per-crate coverage floors
+#   ./scripts/check.sh net       # the above, plus the wire-conformance smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,9 +22,9 @@ cargo test --workspace -q
 # the test step above). An *uncommitted* entry means a property failed
 # locally and its seed was neither fixed nor committed with a replay —
 # refuse to pass until it is dealt with.
-if [ -n "$(git status --porcelain -- 'tests/*.proptest-regressions')" ]; then
+if [ -n "$(git status --porcelain -- 'tests/*.proptest-regressions' 'crates/*/tests/*.proptest-regressions')" ]; then
   echo "error: uncommitted proptest regression entries:" >&2
-  git status --porcelain -- 'tests/*.proptest-regressions' >&2
+  git status --porcelain -- 'tests/*.proptest-regressions' 'crates/*/tests/*.proptest-regressions' >&2
   echo "fix the failing property, or commit the seed together with a replay" >&2
   echo "arm in tests/regressions.rs" >&2
   exit 1
@@ -90,6 +91,22 @@ if [ "$TIER" = "mc" ]; then
   CARGO_TARGET_DIR=target/mc-mutate RUSTFLAGS="--cfg mc_mutate" \
     cargo run -q -p dpq-mc --release --bin dpq-mc -- \
     smoke --scenario skeap_clean --max-shrunk 15 --out target/mc-mutate/schedule.json
+fi
+
+# Wire-conformance tier (opt-in: `./scripts/check.sh net`): the 3-process
+# loopback smoke from crates/net/tests/wire_conformance.rs — real dpq-node
+# daemons on Unix sockets, driven through the control plane, traces replayed
+# through the sim oracles. A hard timeout guards against a wedged cluster
+# (a live-locked retransmit loop would otherwise hang CI), and the trap
+# reaps any dpq-node orphans the timeout may strand: the harness kills its
+# children on drop, but a SIGKILLed test binary cannot run destructors.
+if [ "$TIER" = "net" ]; then
+  cleanup_net() { pkill -f "$PWD/target/[^ ]*/dpq-node" 2>/dev/null || true; }
+  trap cleanup_net EXIT
+  timeout --signal=KILL 180 \
+    cargo test -q -p dpq-net --test wire_conformance smoke_three_process_uds
+  cleanup_net
+  trap - EXIT
 fi
 
 # Coverage tier (opt-in: `./scripts/check.sh coverage`): per-crate line

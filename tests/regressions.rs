@@ -3,9 +3,11 @@
 //! The vendored `proptest` stub is deterministic and has **no failure
 //! persistence**: it neither reads nor writes `*.proptest-regressions`
 //! files, so the entries committed under `tests/` would silently stop
-//! being exercised. This test parses the `# shrinks to k = v, ...`
-//! comment of every `cc` line and dispatches it — by its exact parameter
-//! signature — to a hand-wired replay of the property body it came from.
+//! being exercised. This test scans `tests/` and every `crates/*/tests/`
+//! for `*.proptest-regressions` files, parses the `# shrinks to k = v,
+//! ...` comment of every `cc` line, and dispatches it — by its exact
+//! parameter signature — to a hand-wired replay of the property body it
+//! came from.
 //! An entry with an unrecognized signature fails the test, forcing a
 //! replay to be written alongside any newly committed seed.
 //!
@@ -23,7 +25,7 @@ use dpq_trace::export::write_jsonl;
 /// parameter assignment, in file order.
 #[derive(Debug)]
 struct Entry {
-    file: &'static str,
+    file: String,
     params: Vec<(String, String)>,
 }
 
@@ -59,10 +61,42 @@ impl Entry {
     }
 }
 
+/// Every committed regression file, discovered by scanning rather than by
+/// name: the workspace root's `tests/` plus each crate's `tests/`. A seed
+/// file committed anywhere a proptest suite lives is therefore picked up
+/// without anyone remembering to list it here.
+fn regression_files() -> Vec<std::path::PathBuf> {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    let mut scan = |dir: std::path::PathBuf| {
+        let Ok(rd) = std::fs::read_dir(&dir) else {
+            return;
+        };
+        for entry in rd.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|e| e == "proptest-regressions") {
+                files.push(p);
+            }
+        }
+    };
+    scan(root.join("tests"));
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for entry in crates.flatten() {
+            scan(entry.path().join("tests"));
+        }
+    }
+    files.sort();
+    files
+}
+
 /// Parse the `cc <hash> # shrinks to k = v, ...` lines of one file.
-fn parse(file: &'static str) -> Vec<Entry> {
-    let path = format!("{}/tests/{file}", env!("CARGO_MANIFEST_DIR"));
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+fn parse(path: &std::path::Path) -> Vec<Entry> {
+    let file = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("regression file name")
+        .to_string();
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     let mut entries = Vec::new();
     for line in text.lines() {
         let Some(rest) = line.strip_prefix("cc ") else {
@@ -80,7 +114,10 @@ fn parse(file: &'static str) -> Vec<Entry> {
                 (k.trim().to_string(), v.trim().to_string())
             })
             .collect();
-        entries.push(Entry { file, params });
+        entries.push(Entry {
+            file: file.clone(),
+            params,
+        });
     }
     entries
 }
@@ -194,7 +231,7 @@ fn trace_bytes(events: &[TraceEvent]) -> Vec<u8> {
 /// Route an entry to its replay by parameter signature. Unknown signatures
 /// are a hard failure: a new committed seed needs a replay written here.
 fn dispatch(e: &Entry) {
-    match (e.file, e.keys().as_slice()) {
+    match (e.file.as_str(), e.keys().as_slice()) {
         ("property.proptest-regressions", ["n", "ops", "insert_ratio", "seed"]) => {
             replay_skeap_sequential_consistency(e);
         }
@@ -213,8 +250,24 @@ fn dispatch(e: &Entry) {
 
 #[test]
 fn every_committed_regression_entry_replays() {
-    let mut entries = parse("property.proptest-regressions");
-    entries.extend(parse("faults.proptest-regressions"));
+    let files = regression_files();
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    // The scan must at least find the two files known to be committed —
+    // a rename or move that dropped them from discovery would otherwise
+    // pass by replaying nothing.
+    for known in [
+        "faults.proptest-regressions",
+        "property.proptest-regressions",
+    ] {
+        assert!(
+            names.iter().any(|n| n == known),
+            "regression scan lost {known}; found {names:?}"
+        );
+    }
+    let entries: Vec<Entry> = files.iter().flat_map(|p| parse(p)).collect();
     // The committed corpus as of this writing; grows with new seeds. The
     // count is asserted so an accidentally truncated file cannot pass by
     // replaying nothing.
