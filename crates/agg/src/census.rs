@@ -50,7 +50,7 @@ pub struct CensusNode {
 impl CensusNode {
     /// A census participant contributing `value` to the sum.
     pub fn new(view: NodeView, value: u64) -> Self {
-        let collector = Collector::new(&view.children);
+        let collector = Collector::new(&view.children());
         CensusNode {
             view,
             value,
@@ -73,7 +73,7 @@ impl CensusNode {
             acc.nodes += c.nodes;
             acc.sum += c.sum;
         }
-        match self.view.parent {
+        match self.view.parent() {
             Some(p) => ctx.send(p, acc),
             None => self.result = Some(acc),
         }
@@ -109,7 +109,7 @@ mod tests {
         let nodes: Vec<CensusNode> = dpq_overlay::NodeView::extract_all(&topo)
             .into_iter()
             .map(|v| {
-                let value = 10 + v.me.0;
+                let value = 10 + v.me().0;
                 CensusNode::new(v, value)
             })
             .collect();

@@ -7,6 +7,7 @@
 //! `[1,k]` DeleteMin positions (§5.2), and KSelect for its `[1,n']`
 //! representative positions (§4.3).
 
+use dpq_arena::SmallVec;
 use dpq_core::bitsize::vlq_bits;
 use dpq_core::BitSize;
 
@@ -19,6 +20,12 @@ pub struct Interval {
     pub lo: u64,
     /// Inclusive upper end.
     pub hi: u64,
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::EMPTY
+    }
 }
 
 impl Interval {
@@ -79,7 +86,9 @@ impl BitSize for Interval {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Segments {
     /// `(tag, interval)` parts in consumption order (ascending mode).
-    pub parts: Vec<(u64, Interval)>,
+    /// Stored inline up to two parts — the common case (one priority
+    /// drained plus one partially consumed) never touches the heap.
+    pub parts: SmallVec<(u64, Interval), 2>,
 }
 
 impl Segments {

@@ -1,0 +1,372 @@
+//! Many deques, one arena: the `Vec<VecDeque<T>>` replacement.
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot<T> {
+    val: T,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queue {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Queue {
+    const EMPTY: Queue = Queue {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+}
+
+/// A set of logical deques multiplexed over one slot arena.
+///
+/// `Vec<VecDeque<T>>` pays a heap allocation (and `VecDeque`'s minimum
+/// capacity) per non-empty queue. Here every queue is three `u32`s of
+/// header and elements from all queues share one slab, linked doubly
+/// through `u32` indices with an intrusive free list — so the aggregate
+/// footprint tracks the element count, not the queue count. Elements are
+/// `Copy`; freed slots keep their stale value (nothing to drop) and are
+/// recycled LIFO.
+#[derive(Debug, Clone)]
+pub struct LinkedDeques<T: Copy> {
+    slots: Vec<Slot<T>>,
+    free: u32,
+    queues: Vec<Queue>,
+    live: usize,
+}
+
+impl<T: Copy> LinkedDeques<T> {
+    /// `n` empty deques sharing an empty arena.
+    pub fn with_queues(n: usize) -> Self {
+        LinkedDeques {
+            slots: Vec::new(),
+            free: NIL,
+            queues: vec![Queue::EMPTY; n],
+            live: 0,
+        }
+    }
+
+    /// Add one more (empty) deque; returns its index.
+    pub fn alloc_queue(&mut self) -> usize {
+        self.queues.push(Queue::EMPTY);
+        self.queues.len() - 1
+    }
+
+    /// Number of deques.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Elements across all deques.
+    pub fn total_len(&self) -> usize {
+        self.live
+    }
+
+    /// Elements in deque `q`.
+    pub fn len(&self, q: usize) -> usize {
+        self.queues[q].len as usize
+    }
+
+    /// Whether deque `q` is empty.
+    pub fn is_empty(&self, q: usize) -> bool {
+        self.queues[q].len == 0
+    }
+
+    fn alloc_slot(&mut self, val: T) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            self.free = self.slots[i as usize].next;
+            self.slots[i as usize] = Slot {
+                val,
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            let i = self.slots.len() as u32;
+            assert!(i != NIL, "deque arena overflow");
+            self.slots.push(Slot {
+                val,
+                prev: NIL,
+                next: NIL,
+            });
+            i
+        }
+    }
+
+    fn free_slot(&mut self, i: u32) {
+        self.slots[i as usize].next = self.free;
+        self.free = i;
+    }
+
+    /// Append to the back of deque `q`.
+    pub fn push_back(&mut self, q: usize, val: T) {
+        let i = self.alloc_slot(val);
+        let qq = &mut self.queues[q];
+        if qq.tail == NIL {
+            qq.head = i;
+        } else {
+            self.slots[qq.tail as usize].next = i;
+            self.slots[i as usize].prev = qq.tail;
+        }
+        qq.tail = i;
+        qq.len += 1;
+        self.live += 1;
+    }
+
+    /// Prepend to the front of deque `q`.
+    pub fn push_front(&mut self, q: usize, val: T) {
+        let i = self.alloc_slot(val);
+        let qq = &mut self.queues[q];
+        if qq.head == NIL {
+            qq.tail = i;
+        } else {
+            self.slots[qq.head as usize].prev = i;
+            self.slots[i as usize].next = qq.head;
+        }
+        qq.head = i;
+        qq.len += 1;
+        self.live += 1;
+    }
+
+    /// Remove and return the front of deque `q`.
+    pub fn pop_front(&mut self, q: usize) -> Option<T> {
+        let qq = &mut self.queues[q];
+        if qq.head == NIL {
+            return None;
+        }
+        let i = qq.head;
+        let slot = self.slots[i as usize];
+        qq.head = slot.next;
+        if qq.head == NIL {
+            qq.tail = NIL;
+        } else {
+            self.slots[qq.head as usize].prev = NIL;
+        }
+        self.queues[q].len -= 1;
+        self.live -= 1;
+        self.free_slot(i);
+        Some(slot.val)
+    }
+
+    /// Remove and return the back of deque `q`.
+    pub fn pop_back(&mut self, q: usize) -> Option<T> {
+        let qq = &mut self.queues[q];
+        if qq.tail == NIL {
+            return None;
+        }
+        let i = qq.tail;
+        let slot = self.slots[i as usize];
+        qq.tail = slot.prev;
+        if qq.tail == NIL {
+            qq.head = NIL;
+        } else {
+            self.slots[qq.tail as usize].next = NIL;
+        }
+        self.queues[q].len -= 1;
+        self.live -= 1;
+        self.free_slot(i);
+        Some(slot.val)
+    }
+
+    /// The front element of deque `q`.
+    pub fn front(&self, q: usize) -> Option<&T> {
+        match self.queues[q].head {
+            NIL => None,
+            i => Some(&self.slots[i as usize].val),
+        }
+    }
+
+    /// The back element of deque `q`.
+    pub fn back(&self, q: usize) -> Option<&T> {
+        match self.queues[q].tail {
+            NIL => None,
+            i => Some(&self.slots[i as usize].val),
+        }
+    }
+
+    /// Mutable front element of deque `q`.
+    pub fn front_mut(&mut self, q: usize) -> Option<&mut T> {
+        match self.queues[q].head {
+            NIL => None,
+            i => Some(&mut self.slots[i as usize].val),
+        }
+    }
+
+    /// Mutable back element of deque `q`.
+    pub fn back_mut(&mut self, q: usize) -> Option<&mut T> {
+        match self.queues[q].tail {
+            NIL => None,
+            i => Some(&mut self.slots[i as usize].val),
+        }
+    }
+
+    /// Front-to-back iteration over deque `q`.
+    pub fn iter(&self, q: usize) -> Iter<'_, T> {
+        Iter {
+            slots: &self.slots,
+            at: self.queues[q].head,
+        }
+    }
+
+    /// Empty deque `q`, recycling its slots.
+    pub fn clear_queue(&mut self, q: usize) {
+        while self.pop_front(q).is_some() {}
+    }
+
+    /// Empty every deque and drop the arena backing (capacity released).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.slots.shrink_to_fit();
+        self.free = NIL;
+        for q in &mut self.queues {
+            *q = Queue::EMPTY;
+        }
+        self.live = 0;
+    }
+
+    /// Slots currently backing the arena (live + recyclable).
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Front-to-back iterator over one deque.
+pub struct Iter<'a, T: Copy> {
+    slots: &'a [Slot<T>],
+    at: u32,
+}
+
+impl<'a, T: Copy> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        if self.at == NIL {
+            return None;
+        }
+        let slot = &self.slots[self.at as usize];
+        self.at = slot.next;
+        Some(&slot.val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_queue() {
+        let mut d = LinkedDeques::with_queues(3);
+        for v in 0..5 {
+            d.push_back(1, v);
+        }
+        d.push_back(2, 100);
+        assert_eq!(d.len(1), 5);
+        assert_eq!(d.len(0), 0);
+        assert_eq!(d.total_len(), 6);
+        for v in 0..5 {
+            assert_eq!(d.pop_front(1), Some(v));
+        }
+        assert_eq!(d.pop_front(1), None);
+        assert_eq!(d.pop_front(2), Some(100));
+    }
+
+    #[test]
+    fn deque_ends_behave_like_vecdeque() {
+        use std::collections::VecDeque;
+        let mut d = LinkedDeques::with_queues(1);
+        let mut model = VecDeque::new();
+        // Deterministic op mix covering both ends.
+        let mut x = 7u64;
+        for step in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match x % 5 {
+                0 => {
+                    d.push_front(0, step);
+                    model.push_front(step);
+                }
+                1 | 2 => {
+                    d.push_back(0, step);
+                    model.push_back(step);
+                }
+                3 => assert_eq!(d.pop_front(0), model.pop_front()),
+                _ => assert_eq!(d.pop_back(0), model.pop_back()),
+            }
+            assert_eq!(d.front(0), model.front());
+            assert_eq!(d.back(0), model.back());
+            assert_eq!(d.len(0), model.len());
+        }
+        let got: Vec<u64> = d.iter(0).copied().collect();
+        let want: Vec<u64> = model.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn slots_are_shared_and_recycled_across_queues() {
+        let mut d = LinkedDeques::with_queues(2);
+        for v in 0..8 {
+            d.push_back(0, v);
+        }
+        assert_eq!(d.capacity_slots(), 8);
+        d.clear_queue(0);
+        // Queue 1 reuses queue 0's freed slots: no arena growth.
+        for v in 0..8 {
+            d.push_back(1, v);
+        }
+        assert_eq!(d.capacity_slots(), 8);
+        assert_eq!(d.total_len(), 8);
+    }
+
+    #[test]
+    fn front_back_mut_edit_in_place() {
+        let mut d = LinkedDeques::with_queues(1);
+        d.push_back(0, 1);
+        d.push_back(0, 2);
+        *d.front_mut(0).unwrap() = 10;
+        *d.back_mut(0).unwrap() = 20;
+        assert_eq!(d.iter(0).copied().collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    fn alloc_queue_grows_the_header_table_only() {
+        let mut d: LinkedDeques<u32> = LinkedDeques::with_queues(0);
+        let a = d.alloc_queue();
+        let b = d.alloc_queue();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.num_queues(), 2);
+        d.push_back(b, 9);
+        assert_eq!(d.front(b), Some(&9));
+        assert!(d.is_empty(a));
+    }
+
+    #[test]
+    fn clear_releases_arena() {
+        let mut d = LinkedDeques::with_queues(1);
+        for v in 0..100 {
+            d.push_back(0, v);
+        }
+        d.clear();
+        assert_eq!(d.total_len(), 0);
+        assert_eq!(d.capacity_slots(), 0);
+        assert_eq!(d.pop_back(0), None);
+        d.push_back(0, 5);
+        assert_eq!(d.pop_front(0), Some(5));
+    }
+
+    #[test]
+    fn single_element_front_equals_back() {
+        let mut d = LinkedDeques::with_queues(1);
+        d.push_front(0, 42);
+        assert_eq!(d.front(0), d.back(0));
+        assert_eq!(d.pop_back(0), Some(42));
+        assert!(d.is_empty(0));
+        assert_eq!(d.front(0), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! Arena building blocks for compact node state.
+//!
+//! The simulated node cores (skeap, seap, dht, reliable links) were built
+//! on idiomatic-but-pointer-heavy containers: `Vec<VecDeque<_>>` interval
+//! queues, per-assign `Vec` clones, `BTreeMap`-per-link bookkeeping. Each
+//! is correct in isolation; at n = 100k–1M nodes the per-container
+//! overheads (three pointers and a heap header each, VecDeque's minimum
+//! capacity, BTreeMap node fan-out) dominate the actual protocol state.
+//!
+//! This crate provides the three layouts the memory-compact core is built
+//! from, all dependency-free and all invariant-checked by unit and
+//! property tests:
+//!
+//! - [`Slab`]: a slot arena with generation-checked [`Handle`]s. Removal
+//!   bumps the slot's generation, so a stale handle can never alias a
+//!   recycled slot — the moral equivalent of a use-after-free check, paid
+//!   for with one `u32` compare.
+//! - [`SmallVec`]: a pooled small-vector that stores up to `N` elements
+//!   inline and spills to a heap `Vec` only past that. Popping back under
+//!   the threshold returns to inline storage but *keeps* the spill
+//!   capacity, so a buffer that oscillates around `N` allocates once.
+//! - [`LinkedDeques`]: many logical deques multiplexed over one slot
+//!   arena with an intrusive free list — the replacement for
+//!   `Vec<VecDeque<Interval>>` where most queues are empty but the
+//!   aggregate is large.
+
+mod deques;
+mod slab;
+mod smallvec;
+
+pub use deques::LinkedDeques;
+pub use slab::{Handle, Slab};
+pub use smallvec::SmallVec;

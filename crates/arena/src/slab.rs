@@ -1,0 +1,274 @@
+//! Slot arena with generation-checked handles.
+
+use std::num::NonZeroU32;
+
+/// A key into a [`Slab`]: slot index plus the generation the slot had when
+/// the value was inserted. `NonZeroU32` keeps `Option<Handle>` at 8 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle {
+    idx: u32,
+    gen: NonZeroU32,
+}
+
+impl Handle {
+    /// The raw slot index (stable for the lifetime of the value).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SlotState<T> {
+    Occupied(T),
+    Vacant { next_free: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    gen: u32,
+    state: SlotState<T>,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A slot arena: values live at stable indices, freed slots are recycled
+/// through an intrusive free list, and every recycle bumps the slot's
+/// generation so handles from before the free no longer resolve.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: u32,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab (no allocation until the first insert).
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: NIL,
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slots currently backing the slab (live + recyclable).
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a value, recycling a freed slot when one exists.
+    pub fn insert(&mut self, val: T) -> Handle {
+        self.len += 1;
+        if self.free != NIL {
+            let idx = self.free;
+            let slot = &mut self.slots[idx as usize];
+            let SlotState::Vacant { next_free } = slot.state else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free = next_free;
+            slot.state = SlotState::Occupied(val);
+            Handle {
+                idx,
+                gen: NonZeroU32::new(slot.gen).expect("generations start at 1"),
+            }
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "slab overflow");
+            self.slots.push(Slot {
+                gen: 1,
+                state: SlotState::Occupied(val),
+            });
+            Handle {
+                idx,
+                gen: NonZeroU32::new(1).unwrap(),
+            }
+        }
+    }
+
+    /// Remove the value behind `h`. Returns `None` (and changes nothing)
+    /// if the handle is stale or was never issued by this slab.
+    pub fn remove(&mut self, h: Handle) -> Option<T> {
+        let slot = self.slots.get_mut(h.idx as usize)?;
+        if slot.gen != h.gen.get() || matches!(slot.state, SlotState::Vacant { .. }) {
+            return None;
+        }
+        // Bump the generation so `h` (and any copy of it) goes stale.
+        // On the astronomically unlikely wrap to 0, skip to 1 so handles
+        // stay representable as NonZeroU32.
+        slot.gen = match slot.gen.wrapping_add(1) {
+            0 => 1,
+            g => g,
+        };
+        let state = std::mem::replace(
+            &mut slot.state,
+            SlotState::Vacant {
+                next_free: self.free,
+            },
+        );
+        self.free = h.idx;
+        self.len -= 1;
+        match state {
+            SlotState::Occupied(v) => Some(v),
+            SlotState::Vacant { .. } => unreachable!(),
+        }
+    }
+
+    /// Shared access; `None` if the handle is stale.
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        match self.slots.get(h.idx as usize) {
+            Some(Slot {
+                gen,
+                state: SlotState::Occupied(v),
+            }) if *gen == h.gen.get() => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access; `None` if the handle is stale.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        match self.slots.get_mut(h.idx as usize) {
+            Some(Slot {
+                gen,
+                state: SlotState::Occupied(v),
+            }) if *gen == h.gen.get() => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Live values in slot order, with their handles.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match &s.state {
+                SlotState::Occupied(v) => Some((
+                    Handle {
+                        idx: i as u32,
+                        gen: NonZeroU32::new(s.gen).expect("occupied slot has nonzero gen"),
+                    },
+                    v,
+                )),
+                SlotState::Vacant { .. } => None,
+            })
+    }
+
+    /// Drop every value and every slot (capacity is kept).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free = NIL;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn stale_handle_never_aliases_recycled_slot() {
+        let mut s = Slab::new();
+        let a = s.insert(1u64);
+        assert_eq!(s.remove(a), Some(1));
+        let b = s.insert(2u64);
+        // Same slot, new generation: the old handle is dead, not aliased.
+        assert_eq!(a.index(), b.index());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_none_and_len_stays_consistent() {
+        let mut s = Slab::new();
+        let a = s.insert(7);
+        assert_eq!(s.remove(a), Some(7));
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn recycling_reuses_slots_lifo() {
+        let mut s = Slab::new();
+        let hs: Vec<_> = (0..4).map(|i| s.insert(i)).collect();
+        for &h in &hs {
+            s.remove(h);
+        }
+        assert_eq!(s.capacity_slots(), 4);
+        // New inserts reuse freed slots (in reverse free order) without
+        // growing the backing vector.
+        for i in 10..14 {
+            s.insert(i);
+        }
+        assert_eq!(s.capacity_slots(), 4);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s = Slab::new();
+        let h = s.insert(vec![1, 2]);
+        s.get_mut(h).unwrap().push(3);
+        assert_eq!(s.get(h), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn iter_yields_live_values_with_valid_handles() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        let b = s.insert(20);
+        let c = s.insert(30);
+        s.remove(b);
+        let got: Vec<_> = s.iter().map(|(h, &v)| (h, v)).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (a, 10));
+        assert_eq!(got[1], (c, 30));
+        for (h, &v) in s.iter() {
+            assert_eq!(s.get(h), Some(&v));
+        }
+    }
+
+    #[test]
+    fn option_handle_is_word_sized() {
+        assert_eq!(std::mem::size_of::<Option<Handle>>(), 8);
+    }
+}

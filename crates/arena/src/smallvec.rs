@@ -1,0 +1,430 @@
+//! A pooled small-vector: inline up to `N`, spilling to the heap past it.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector of `Copy` values that stores up to `N` elements inline.
+///
+/// Invariant: when `len <= N` all elements live in `inline[..len]` and
+/// `spill` is empty (though it may retain capacity); when `len > N` *all*
+/// elements live in `spill` and the inline array is dead storage. Crossing
+/// back under the threshold copies the survivors inline but keeps the
+/// spill allocation, so a buffer that oscillates around `N` touches the
+/// allocator once, not once per oscillation.
+///
+/// Derefs to `[T]`, so slice methods (`len`, `iter`, indexing, `first`,
+/// `last`, …) work directly, and compares equal against `Vec<T>` and
+/// slices for test ergonomics.
+#[derive(Clone)]
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    len: u32,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty small-vec (no heap allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            inline: [T::default(); N],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Build from a slice (spills only if `s.len() > N`).
+    pub fn from_slice(s: &[T]) -> Self {
+        let mut v = SmallVec::new();
+        v.extend_from_slice(s);
+        v
+    }
+
+    /// `n` copies of `val` (the `vec![val; n]` analogue).
+    pub fn from_elem(val: T, n: usize) -> Self {
+        let mut v = SmallVec::new();
+        if n <= N {
+            v.inline[..n].fill(val);
+        } else {
+            v.spill = vec![val; n];
+        }
+        v.len = n as u32;
+        v
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: T) {
+        let len = self.len as usize;
+        if len < N {
+            self.inline[len] = v;
+        } else {
+            if len == N {
+                debug_assert!(self.spill.is_empty());
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the last value.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let len = self.len as usize;
+        let v = if len <= N {
+            self.inline[len - 1]
+        } else {
+            let v = self.spill.pop().expect("spilled smallvec has spill data");
+            if len - 1 == N {
+                // Back under the threshold: move survivors inline, keep
+                // the spill capacity for the next excursion.
+                self.inline.copy_from_slice(&self.spill);
+                self.spill.clear();
+            }
+            v
+        };
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Insert at `idx`, shifting the tail right.
+    pub fn insert(&mut self, idx: usize, v: T) {
+        let len = self.len as usize;
+        assert!(idx <= len, "insert index {idx} out of bounds (len {len})");
+        if len < N {
+            self.inline.copy_within(idx..len, idx + 1);
+            self.inline[idx] = v;
+        } else {
+            if len == N {
+                debug_assert!(self.spill.is_empty());
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.insert(idx, v);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the value at `idx`, shifting the tail left.
+    pub fn remove(&mut self, idx: usize) -> T {
+        let len = self.len as usize;
+        assert!(idx < len, "remove index {idx} out of bounds (len {len})");
+        let v;
+        if len <= N {
+            v = self.inline[idx];
+            self.inline.copy_within(idx + 1..len, idx);
+        } else {
+            v = self.spill.remove(idx);
+            if len - 1 == N {
+                self.inline.copy_from_slice(&self.spill);
+                self.spill.clear();
+            }
+        }
+        self.len -= 1;
+        v
+    }
+
+    /// Drop all elements; keeps any spill capacity.
+    pub fn clear(&mut self) {
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Shorten to at most `k` elements; keeps any spill capacity.
+    pub fn truncate(&mut self, k: usize) {
+        let len = self.len as usize;
+        if k >= len {
+            return;
+        }
+        if len > N {
+            if k > N {
+                self.spill.truncate(k);
+            } else {
+                self.inline[..k].copy_from_slice(&self.spill[..k]);
+                self.spill.clear();
+            }
+        }
+        self.len = k as u32;
+    }
+
+    /// Append every value in `s`.
+    pub fn extend_from_slice(&mut self, s: &[T]) {
+        let len = self.len as usize;
+        if len + s.len() <= N {
+            self.inline[len..len + s.len()].copy_from_slice(s);
+        } else {
+            if len <= N {
+                debug_assert!(self.spill.is_empty());
+                self.spill.reserve(len + s.len());
+                self.spill.extend_from_slice(&self.inline[..len]);
+            }
+            self.spill.extend_from_slice(s);
+        }
+        self.len += s.len() as u32;
+    }
+
+    /// The elements as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[T] {
+        if self.len as usize <= N {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.len as usize <= N {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Whether the elements currently live on the heap.
+    pub fn spilled(&self) -> bool {
+        self.len as usize > N
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<SmallVec<T, M>>
+    for SmallVec<T, N>
+{
+    fn eq(&self, other: &SmallVec<T, M>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<SmallVec<T, N>> for Vec<T> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<&[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for SmallVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, it: I) {
+        for v in it {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(it: I) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(it);
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for SmallVec<T, N> {
+    fn from(s: &[T]) -> Self {
+        SmallVec::from_slice(s)
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// By-value iteration (elements are `Copy`, so this just walks the slice).
+pub struct IntoIter<T: Copy + Default, const N: usize> {
+    v: SmallVec<T, N>,
+    pos: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        let out = self.v.as_slice().get(self.pos).copied();
+        self.pos += 1;
+        out
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.v.len as usize).saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { v: self, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Sv = SmallVec<u64, 2>;
+
+    #[test]
+    fn inline_until_threshold_then_spills() {
+        let mut v = Sv::new();
+        v.push(1);
+        v.push(2);
+        assert!(!v.spilled());
+        assert_eq!(v, vec![1, 2]);
+        v.push(3);
+        assert!(v.spilled());
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(v[0], 1);
+        assert_eq!(v.last(), Some(&3));
+    }
+
+    #[test]
+    fn pop_crosses_back_inline_and_keeps_capacity() {
+        let mut v = Sv::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.pop(), Some(4));
+        assert_eq!(v.pop(), Some(3));
+        assert!(v.spilled()); // len 3 > N = 2
+        assert_eq!(v.pop(), Some(2));
+        assert!(!v.spilled());
+        assert_eq!(v, vec![0, 1]);
+        // Oscillate around the threshold: the spill capacity acquired
+        // above must absorb re-spills without fresh allocation (observable
+        // here as spill capacity staying put).
+        let cap = v.spill.capacity();
+        assert!(cap >= 3);
+        for _ in 0..10 {
+            v.push(9);
+            assert!(v.spilled());
+            v.pop();
+            assert!(!v.spilled());
+            assert_eq!(v.spill.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_shift_correctly() {
+        let mut v = Sv::new();
+        v.push(1);
+        v.push(3);
+        v.insert(1, 2); // spills: len 3 > 2
+        assert_eq!(v, vec![1, 2, 3]);
+        v.insert(0, 0);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+        assert_eq!(v.remove(1), 1);
+        assert_eq!(v.remove(0), 0);
+        assert!(!v.spilled());
+        assert_eq!(v, vec![2, 3]);
+        assert_eq!(v.remove(1), 3);
+        assert_eq!(v, vec![2]);
+    }
+
+    #[test]
+    fn truncate_across_threshold() {
+        let mut v: Sv = (0..6).collect();
+        v.truncate(8); // no-op
+        assert_eq!(v.len(), 6);
+        v.truncate(4);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+        v.truncate(1);
+        assert!(!v.spilled());
+        assert_eq!(v, vec![0]);
+        v.truncate(0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn equality_against_vec_slices_and_arrays() {
+        let v: Sv = vec![5, 6, 7].into_iter().collect();
+        assert_eq!(v, vec![5, 6, 7]);
+        assert_eq!(vec![5, 6, 7], v);
+        assert_eq!(v, [5, 6, 7]);
+        assert_eq!(v, &[5u64, 6, 7][..]);
+        assert_ne!(v, vec![5, 6]);
+        let w: SmallVec<u64, 4> = SmallVec::from_slice(&[5, 6, 7]);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn clear_keeps_spill_capacity() {
+        let mut v: Sv = (0..10).collect();
+        let cap = v.spill.capacity();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.spill.capacity(), cap);
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn iteration_by_ref_and_by_value() {
+        let v: Sv = (0..4).collect();
+        let by_ref: Vec<u64> = (&v).into_iter().copied().collect();
+        let by_val: Vec<u64> = v.clone().into_iter().collect();
+        assert_eq!(by_ref, vec![0, 1, 2, 3]);
+        assert_eq!(by_val, vec![0, 1, 2, 3]);
+        // Slice methods via Deref.
+        assert_eq!(v.iter().sum::<u64>(), 6);
+        assert_eq!(v.first(), Some(&0));
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v: Sv = (0..3).collect();
+        v[1] = 42;
+        *v.last_mut().unwrap() = 7;
+        assert_eq!(v, vec![0, 42, 7]);
+        v.as_mut_slice().sort_unstable();
+        assert_eq!(v, vec![0, 7, 42]);
+    }
+}

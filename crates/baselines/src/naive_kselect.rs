@@ -39,7 +39,7 @@ pub struct NaiveSelectNode {
 impl NaiveSelectNode {
     /// A participant holding `candidates`, selecting rank `k`.
     pub fn new(view: NodeView, candidates: Vec<Key>, k: u64) -> Self {
-        let reports_pending = view.children.len();
+        let reports_pending = view.children().len();
         NaiveSelectNode {
             view,
             candidates,
@@ -58,7 +58,7 @@ impl NaiveSelectNode {
         self.sent = true;
         let mut all = std::mem::take(&mut self.received);
         all.extend_from_slice(&self.candidates);
-        match self.view.parent {
+        match self.view.parent() {
             Some(p) => ctx.send(p, KeyBag(all)),
             None => {
                 // Root: select sequentially.
@@ -105,7 +105,7 @@ mod tests {
                     .map(|i| {
                         Key::new(
                             Priority(rng.below(1 << 20)),
-                            ElemId::compose(view.me, i as u64),
+                            ElemId::compose(view.me(), i as u64),
                         )
                     })
                     .collect();

@@ -90,7 +90,7 @@ pub fn b2_naive_kselect(_opts: &crate::ExpOpts) -> Table {
             .into_iter()
             .map(|view| {
                 let cands: Vec<Key> = (0..(m / n as u64))
-                    .map(|i| Key::new(Priority(rng.below(1 << 30)), ElemId::compose(view.me, i)))
+                    .map(|i| Key::new(Priority(rng.below(1 << 30)), ElemId::compose(view.me(), i)))
                     .collect();
                 all.extend_from_slice(&cands);
                 NaiveSelectNode::new(view, cands, k)

@@ -355,3 +355,40 @@ pub fn f1_figure1(_opts: &crate::ExpOpts) -> Table {
     t.note("decomposition (Figure 1(d)) asserted exactly in skeap::anchor::tests::figure1_trace");
     t
 }
+
+/// E17 — the scale sweep: the dense one-op-per-node workload (the
+/// `memprobe` probe's spec) at n up to 100k, the regime the node memory
+/// model (DESIGN.md) unlocked. Corollary 3.6's log shape has to survive
+/// scale: rounds-to-drain must keep tracking log2(n) two orders of
+/// magnitude past the E2 curve. Bytes/node and peak RSS are deliberately
+/// absent here — they need the counting allocator and one process per
+/// point, so `memprobe` owns them (`BENCH_pr8.json` has the frontier).
+pub fn e17_scale(_opts: &crate::ExpOpts) -> Table {
+    let mut t = Table::new(
+        "e17",
+        "Skeap scale sweep: dense workload, n to 100k (Cor 3.6 shape at scale)",
+        &["n", "rounds", "rounds/log2(n)", "Mnode-steps/s"],
+    );
+    const NS: [usize; 5] = [1_000, 3_162, 10_000, 31_623, 100_000];
+    let runs = crate::runner::sweep(NS.len(), |c| crate::memprobe::scale_run(NS[c]));
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for r in &runs {
+        xs.push(r.n as f64);
+        ys.push(r.rounds as f64);
+        t.row(vec![
+            r.n.to_string(),
+            r.rounds.to_string(),
+            f(r.rounds as f64 / (r.n as f64).log2()),
+            format!("{:.1}", r.node_steps_per_sec / 1e6),
+        ]);
+    }
+    let (a, b, r2) = log_fit(&xs, &ys);
+    t.note(format!(
+        "fit: rounds ≈ {}·log2(n) + {}  (r² = {:.3}) — logarithmic through n = 100k",
+        f(a),
+        f(b),
+        r2
+    ));
+    t.note("memory axis of this sweep: memprobe / BENCH_pr8.json (one process per point)");
+    t
+}

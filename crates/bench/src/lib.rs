@@ -14,6 +14,7 @@ pub mod exp_kselect;
 pub mod exp_overlay;
 pub mod exp_seap;
 pub mod exp_skeap;
+pub mod memprobe;
 pub mod perf_probe;
 pub mod runner;
 pub mod stats;
@@ -88,6 +89,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e14", exp_overlay::e14_join_leave),
         ("e15", exp_skeap::e15_discipline_ablation),
         ("e16", exp_faults::e16_fault_recovery),
+        ("e17", exp_skeap::e17_scale),
         ("f1", exp_skeap::f1_figure1),
         ("f2", exp_overlay::f2_figure2),
         ("b1", exp_baselines::b1_central_congestion),

@@ -1,0 +1,127 @@
+//! Steady-state allocation audit for both schedulers.
+//!
+//! The arena/SoA refactor's contract is that simulation steady state is
+//! allocation-free: every buffer the hot path touches (flat inbox, delivery
+//! permutation, future heap, context recycling, per-node protocol state)
+//! reaches its high-water capacity during warmup and is reused thereafter.
+//! This harness installs the counting allocator as the global allocator,
+//! warms each scheduler past its high-water mark, then pins the allocation
+//! count to ZERO over a long measured window — any regression that puts a
+//! per-step or per-round allocation back on the hot path fails loudly, not
+//! as a few-percent throughput drift in `BENCH_*.json`.
+//!
+//! Everything here is deterministic (seeded fault plans, seeded adversary,
+//! fixed round counts), so the assertion is exact, not statistical. The
+//! four configurations live in one `#[test]` because the allocation
+//! counter is process-global: parallel test threads would bleed counts
+//! into each other's windows.
+
+use dpq_bench::memprobe::{alloc_count, CountingAlloc};
+use dpq_bench::perf_probe::{probe_plan, relays, PROBE_NODES};
+use dpq_core::NodeId;
+use dpq_sim::{
+    AsyncConfig, AsyncScheduler, FaultPlan, NullTelemetry, NullTracer, RandomAdversary,
+    SyncScheduler,
+};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Tokens per node held in flight by the sync probe.
+const SYNC_PER_NODE: u64 = 8;
+
+/// Allocations observed over `measure` rounds after `warmup` rounds.
+fn sync_steady_allocs(plan: FaultPlan, warmup: u64, measure: u64) -> u64 {
+    let mut s = SyncScheduler::with_faults(relays(PROBE_NODES, PROBE_NODES * SYNC_PER_NODE), plan);
+    let target = PROBE_NODES * SYNC_PER_NODE;
+    for _ in 0..warmup {
+        s.step_round();
+        let pop = s.in_flight() as u64;
+        if pop < target {
+            s.node_mut(NodeId(0)).queued += target - pop;
+        }
+    }
+    let before = alloc_count();
+    for _ in 0..measure {
+        s.step_round();
+        let pop = s.in_flight() as u64;
+        if pop < target {
+            s.node_mut(NodeId(0)).queued += target - pop;
+        }
+    }
+    alloc_count() - before
+}
+
+/// Allocations observed over `measure` adversary steps after `warmup`.
+fn async_steady_allocs(plan: FaultPlan, warmup: u64, measure: u64) -> u64 {
+    let target = 1_000u64;
+    let mut s = AsyncScheduler::with_policy_faults_tracer_telemetry(
+        relays(PROBE_NODES, target),
+        AsyncConfig::default(),
+        plan,
+        RandomAdversary::new(1),
+        NullTracer,
+        NullTelemetry,
+    );
+    for _ in 0..warmup {
+        s.step_once();
+        let pop = s.in_flight() as u64;
+        if pop < target {
+            s.node_mut(NodeId(0)).queued += target - pop;
+        }
+    }
+    let before = alloc_count();
+    for _ in 0..measure {
+        s.step_once();
+        let pop = s.in_flight() as u64;
+        if pop < target {
+            s.node_mut(NodeId(0)).queued += target - pop;
+        }
+    }
+    alloc_count() - before
+}
+
+#[test]
+fn steady_state_steps_do_not_allocate() {
+    assert!(
+        dpq_bench::memprobe::counting_alloc_installed(),
+        "counting allocator not installed"
+    );
+    // Sync scheduler: warmup must (a) reach the flat inbox's and future
+    // heap's high-water capacity and (b) leave the metrics round-series
+    // with enough grown-but-unused capacity to absorb the measured rounds
+    // without a geometric doubling landing inside the window.
+    let cases: [(&str, u64); 2] = [
+        (
+            "sync/null",
+            sync_steady_allocs(FaultPlan::none(), 3_000, 1_000),
+        ),
+        (
+            "sync/faulty",
+            sync_steady_allocs(probe_plan(), 3_000, 1_000),
+        ),
+    ];
+    for (name, allocs) in cases {
+        assert_eq!(
+            allocs, 0,
+            "{name}: steady-state rounds allocated {allocs} times"
+        );
+    }
+    // Async scheduler: same contract per adversary step.
+    let cases: [(&str, u64); 2] = [
+        (
+            "async/null",
+            async_steady_allocs(FaultPlan::none(), 100_000, 10_000),
+        ),
+        (
+            "async/faulty",
+            async_steady_allocs(probe_plan(), 100_000, 10_000),
+        ),
+    ];
+    for (name, allocs) in cases {
+        assert_eq!(
+            allocs, 0,
+            "{name}: steady-state steps allocated {allocs} times"
+        );
+    }
+}

@@ -23,6 +23,13 @@ impl NodeHistory {
             node,
             seq: self.ops.len() as u64,
         };
+        // First allocation is exact: `Vec`'s minimum-four policy would pin
+        // 4 records (384 bytes) on every node of a large simulation, where
+        // the common scale-workload history is a single op. Subsequent
+        // pushes grow geometrically as usual.
+        if self.ops.capacity() == 0 {
+            self.ops.reserve_exact(1);
+        }
         self.ops.push(OpRecord::new(id, kind));
         id
     }

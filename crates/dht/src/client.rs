@@ -2,15 +2,34 @@
 
 use crate::msgs::{DhtReq, DhtResp};
 use dpq_core::{Element, NodeId};
-use std::collections::HashMap;
 
 /// Tracks a node's outstanding DHT requests and maps responses back to the
 /// caller-supplied token (e.g. the local operation the request serves).
+///
+/// Request ids come from a monotone counter, so pushing onto the end of a
+/// flat `(id, token)` vector keeps it sorted for free; resolutions
+/// binary-search and `remove`, which preserves order. Outstanding counts
+/// are one round's requests at most, so the former pair of `HashMap`s paid
+/// more in table overhead than the shifts cost here.
 #[derive(Debug, Default, Clone)]
 pub struct DhtClient {
     next_id: u64,
-    puts: HashMap<u64, u64>,
-    gets: HashMap<u64, u64>,
+    /// Outstanding puts: `(request id, caller token)`, sorted by id.
+    puts: Vec<(u64, u64)>,
+    /// Outstanding gets, same layout.
+    gets: Vec<(u64, u64)>,
+}
+
+/// Remove `id` from an id-sorted `(id, token)` vector, returning its token.
+/// Releases the buffer once the last entry drains, so an idle client holds
+/// no heap at all.
+fn take(v: &mut Vec<(u64, u64)>, id: u64) -> Option<u64> {
+    let at = v.binary_search_by_key(&id, |e| e.0).ok()?;
+    let (_, token) = v.remove(at);
+    if v.is_empty() {
+        *v = Vec::new();
+    }
+    Some(token)
 }
 
 impl DhtClient {
@@ -23,7 +42,7 @@ impl DhtClient {
     pub fn put(&mut self, me: NodeId, logical: u64, elem: Element, token: u64) -> DhtReq {
         let id = self.next_id;
         self.next_id += 1;
-        self.puts.insert(id, token);
+        self.puts.push((id, token));
         DhtReq::Put {
             logical,
             elem,
@@ -36,7 +55,7 @@ impl DhtClient {
     pub fn get(&mut self, me: NodeId, logical: u64, token: u64) -> DhtReq {
         let id = self.next_id;
         self.next_id += 1;
-        self.gets.insert(id, token);
+        self.gets.push((id, token));
         DhtReq::Get {
             logical,
             reply_to: me,
@@ -48,11 +67,11 @@ impl DhtClient {
     pub fn on_response(&mut self, resp: &DhtResp) -> Completion {
         match resp {
             DhtResp::PutAck { id } => {
-                let token = self.puts.remove(id).expect("ack for unknown put");
+                let token = take(&mut self.puts, *id).expect("ack for unknown put");
                 Completion::PutDone { token }
             }
             DhtResp::GetOk { id, elem } => {
-                let token = self.gets.remove(id).expect("reply for unknown get");
+                let token = take(&mut self.gets, *id).expect("reply for unknown get");
                 Completion::GotElement { token, elem: *elem }
             }
         }
@@ -99,13 +118,15 @@ pub enum Completion {
 impl dpq_core::StateHash for DhtClient {
     fn state_hash(&self, h: &mut dpq_core::StateHasher) {
         h.write_u64(self.next_id);
-        h.write_unordered(self.puts.iter(), |h, (k, v)| {
-            h.write_u64(*k);
-            h.write_u64(*v);
+        // Digest-compatible with the former HashMap layout: unordered
+        // multisets of (id, token) pairs.
+        h.write_unordered(self.puts.iter(), |h, &(k, v)| {
+            h.write_u64(k);
+            h.write_u64(v);
         });
-        h.write_unordered(self.gets.iter(), |h, (k, v)| {
-            h.write_u64(*k);
-            h.write_u64(*v);
+        h.write_unordered(self.gets.iter(), |h, &(k, v)| {
+            h.write_u64(k);
+            h.write_u64(v);
         });
     }
 }
@@ -166,5 +187,27 @@ mod tests {
     fn stray_ack_panics() {
         let mut c = DhtClient::new();
         c.on_response(&DhtResp::PutAck { id: 99 });
+    }
+
+    #[test]
+    fn out_of_order_resolution_keeps_lookup_correct() {
+        let mut c = DhtClient::new();
+        let ids: Vec<u64> = (0..4)
+            .map(|i| match c.put(NodeId(0), i, elem(), 100 + i) {
+                DhtReq::Put { id, .. } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        // Ack the middle ones first, then the ends.
+        for &i in &[1usize, 2, 0, 3] {
+            let done = c.on_response(&DhtResp::PutAck { id: ids[i] });
+            assert_eq!(
+                done,
+                Completion::PutDone {
+                    token: 100 + i as u64
+                }
+            );
+        }
+        assert!(c.idle());
     }
 }

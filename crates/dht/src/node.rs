@@ -62,13 +62,13 @@ impl DhtNode {
 
     /// Queue a Put of `elem` under `logical` within hash `domain`.
     pub fn enqueue_put(&mut self, domain: u64, logical: u64, elem: Element, token: u64) {
-        let req = self.client.put(self.view.me, logical, elem, token);
+        let req = self.client.put(self.view.me(), logical, elem, token);
         self.queue.push((point_for(domain, logical), req));
     }
 
     /// Queue a Get of `logical` within hash `domain`.
     pub fn enqueue_get(&mut self, domain: u64, logical: u64, token: u64) {
-        let req = self.client.get(self.view.me, logical, token);
+        let req = self.client.get(self.view.me(), logical, token);
         self.queue.push((point_for(domain, logical), req));
     }
 
@@ -89,7 +89,7 @@ impl Protocol for DhtNode {
 
     fn on_activate(&mut self, ctx: &mut Ctx<DhtWire>) {
         for (point, req) in std::mem::take(&mut self.queue) {
-            let msg = RouteMsg::start(self.view.me, point, req);
+            let msg = RouteMsg::start(self.view.me(), point, req);
             self.dispatch(msg, ctx);
         }
     }

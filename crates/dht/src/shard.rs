@@ -3,17 +3,35 @@
 
 use crate::msgs::{DhtReq, DhtResp};
 use dpq_core::{Element, NodeId};
-use std::collections::{HashMap, VecDeque};
 
 /// One node's slice of the DHT, with Get-parking (§3.2.4).
+///
+/// Both tables are flat vectors sorted by logical key, with ties (key
+/// reuse) kept in arrival order — a run of equal keys *is* the per-key
+/// FIFO queue. A typical shard holds zero to a handful of elements, where
+/// the former `HashMap<u64, VecDeque<…>>` paid a hash table plus a
+/// minimum-capacity ring buffer per key; the flat form costs one small
+/// allocation for the whole shard and binary-searched lookups.
 #[derive(Debug, Default, Clone)]
 pub struct DhtShard {
-    /// Elements stored under each logical key, in arrival order. Protocol
-    /// keys are unique per slot, but the store tolerates reuse (Seap reuses
-    /// position keys across DeleteMin phases) by queueing.
-    store: HashMap<u64, VecDeque<Element>>,
-    /// Gets waiting for their Put, in arrival order.
-    parked: HashMap<u64, VecDeque<(NodeId, u64)>>,
+    /// `(logical key, element)` sorted by key, arrival order within a key.
+    /// Protocol keys are unique per slot, but the store tolerates reuse
+    /// (Seap reuses position keys across DeleteMin phases) by queueing.
+    store: Vec<(u64, Element)>,
+    /// Gets waiting for their Put: `(logical key, getter, request id)`,
+    /// sorted by key, arrival order within a key.
+    parked: Vec<(u64, NodeId, u64)>,
+}
+
+/// First index of `key`'s run in a key-sorted slice (`key_of` projects an
+/// entry to its key).
+fn run_start<T>(v: &[T], key: u64, key_of: impl Fn(&T) -> u64) -> usize {
+    v.partition_point(|e| key_of(e) < key)
+}
+
+/// One past the last index of `key`'s run.
+fn run_end<T>(v: &[T], key: u64, key_of: impl Fn(&T) -> u64) -> usize {
+    v.partition_point(|e| key_of(e) <= key)
 }
 
 impl DhtShard {
@@ -34,15 +52,15 @@ impl DhtShard {
             } => {
                 let mut out = Vec::with_capacity(2);
                 out.push((reply_to, DhtResp::PutAck { id }));
-                // A parked Get consumes the element immediately.
-                if let Some(q) = self.parked.get_mut(&logical) {
-                    let (getter, get_id) = q.pop_front().expect("parked queues are non-empty");
-                    if q.is_empty() {
-                        self.parked.remove(&logical);
-                    }
+                // A parked Get consumes the element immediately (oldest
+                // waiter first).
+                let at = run_start(&self.parked, logical, |e| e.0);
+                if self.parked.get(at).is_some_and(|e| e.0 == logical) {
+                    let (_, getter, get_id) = self.parked.remove(at);
                     out.push((getter, DhtResp::GetOk { id: get_id, elem }));
                 } else {
-                    self.store.entry(logical).or_default().push_back(elem);
+                    self.store
+                        .insert(run_end(&self.store, logical, |e| e.0), (logical, elem));
                 }
                 out
             }
@@ -51,17 +69,15 @@ impl DhtShard {
                 reply_to,
                 id,
             } => {
-                if let Some(q) = self.store.get_mut(&logical) {
-                    let elem = q.pop_front().expect("store queues are non-empty");
-                    if q.is_empty() {
-                        self.store.remove(&logical);
-                    }
+                let at = run_start(&self.store, logical, |e| e.0);
+                if self.store.get(at).is_some_and(|e| e.0 == logical) {
+                    let (_, elem) = self.store.remove(at);
                     vec![(reply_to, DhtResp::GetOk { id, elem })]
                 } else {
-                    self.parked
-                        .entry(logical)
-                        .or_default()
-                        .push_back((reply_to, id));
+                    self.parked.insert(
+                        run_end(&self.parked, logical, |e| e.0),
+                        (logical, reply_to, id),
+                    );
                     Vec::new()
                 }
             }
@@ -70,27 +86,23 @@ impl DhtShard {
 
     /// Number of stored elements (parked Gets excluded).
     pub fn len(&self) -> usize {
-        self.store.values().map(VecDeque::len).sum()
+        self.store.len()
     }
 
     /// No elements stored.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.store.is_empty()
     }
 
     /// Number of Gets currently waiting for their Put.
     pub fn parked_count(&self) -> usize {
-        self.parked.values().map(VecDeque::len).sum()
+        self.parked.len()
     }
 
     /// Drain everything — the handover a leaving node performs (its
     /// successor re-ingests the returned pairs).
     pub fn drain_all(&mut self) -> Vec<(u64, Element)> {
-        let mut out: Vec<(u64, Element)> = self
-            .store
-            .drain()
-            .flat_map(|(k, q)| q.into_iter().map(move |e| (k, e)))
-            .collect();
+        let mut out = std::mem::take(&mut self.store);
         out.sort_by_key(|(k, e)| (*k, e.id));
         out
     }
@@ -98,7 +110,7 @@ impl DhtShard {
     /// Re-ingest handed-over pairs (join/leave path).
     pub fn ingest(&mut self, pairs: impl IntoIterator<Item = (u64, Element)>) {
         for (k, e) in pairs {
-            self.store.entry(k).or_default().push_back(e);
+            self.store.insert(run_end(&self.store, k, |e| e.0), (k, e));
         }
     }
 
@@ -111,41 +123,43 @@ impl DhtShard {
         mut pred: impl FnMut(u64, &Element) -> bool,
     ) -> Vec<Element> {
         let mut out = Vec::new();
-        self.store.retain(|&k, q| {
-            let mut kept = VecDeque::with_capacity(q.len());
-            for e in q.drain(..) {
-                if pred(k, &e) {
-                    out.push(e);
-                } else {
-                    kept.push_back(e);
-                }
+        self.store.retain(|&(k, e)| {
+            if pred(k, &e) {
+                out.push(e);
+                false
+            } else {
+                true
             }
-            *q = kept;
-            !q.is_empty()
         });
         out.sort();
         out
     }
 
-    /// Iterate stored elements (any order).
+    /// Iterate stored elements (key order, arrival order within a key).
     pub fn elements(&self) -> impl Iterator<Item = (u64, &Element)> {
-        self.store
-            .iter()
-            .flat_map(|(&k, q)| q.iter().map(move |e| (k, e)))
+        self.store.iter().map(|(k, e)| (*k, e))
     }
 }
 
 impl dpq_core::StateHash for DhtShard {
     fn state_hash(&self, h: &mut dpq_core::StateHasher) {
-        // HashMaps are hashed as multisets of (key, ordered queue) entries
-        // so rebuild order never perturbs the digest.
-        h.write_unordered(self.store.iter(), |h, (k, q)| {
-            h.write_u64(*k);
-            q.state_hash(h);
+        // Digest-compatible with the former `HashMap<u64, VecDeque<_>>`
+        // layout: an unordered multiset of (key, ordered queue) entries,
+        // where a queue is a key's contiguous run.
+        h.write_unordered(self.store.chunk_by(|a, b| a.0 == b.0), |h, run| {
+            h.write_u64(run[0].0);
+            h.write_u64(run.len() as u64);
+            for (_, e) in run {
+                e.state_hash(h);
+            }
         });
-        h.write_unordered(self.parked.iter(), |h, (k, q)| {
-            h.write_u64(*k);
-            q.state_hash(h);
+        h.write_unordered(self.parked.chunk_by(|a, b| a.0 == b.0), |h, run| {
+            h.write_u64(run[0].0);
+            h.write_u64(run.len() as u64);
+            for &(_, getter, id) in run {
+                getter.state_hash(h);
+                h.write_u64(id);
+            }
         });
     }
 }
@@ -275,5 +289,37 @@ mod tests {
         let mut b = DhtShard::new();
         b.ingest(pairs);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn runs_interleave_across_keys_without_mixing_queues() {
+        let mut s = DhtShard::new();
+        // Interleave puts across two keys; each key's FIFO must be
+        // independent of the other's.
+        for (i, key) in [(0u64, 2u64), (1, 8), (2, 2), (3, 8), (4, 2)] {
+            s.handle(DhtReq::Put {
+                logical: key,
+                elem: elem(i),
+                reply_to: NodeId(0),
+                id: i,
+            });
+        }
+        let take = |s: &mut DhtShard, key: u64, id: u64| {
+            let out = s.handle(DhtReq::Get {
+                logical: key,
+                reply_to: NodeId(0),
+                id,
+            });
+            match out[0].1 {
+                DhtResp::GetOk { elem: e, .. } => e,
+                _ => panic!("expected GetOk"),
+            }
+        };
+        assert_eq!(take(&mut s, 2, 100), elem(0));
+        assert_eq!(take(&mut s, 8, 101), elem(1));
+        assert_eq!(take(&mut s, 2, 102), elem(2));
+        assert_eq!(take(&mut s, 2, 103), elem(4));
+        assert_eq!(take(&mut s, 8, 104), elem(3));
+        assert!(s.is_empty());
     }
 }

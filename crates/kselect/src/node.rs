@@ -161,8 +161,8 @@ impl KSelectNode {
     pub fn new(view: NodeView, cands: Vec<Key>, seed: u64) -> Self {
         let mut cands = cands;
         cands.sort_unstable();
-        let collector = Collector::new(&view.children);
-        let rng = DetRng::new(seed).split(view.me.0);
+        let collector = Collector::new(&view.children());
+        let rng = DetRng::new(seed).split(view.me().0);
         KSelectNode {
             view,
             rng,
@@ -200,14 +200,14 @@ impl KSelectNode {
     /// would obtain with one counting aggregation (§2.2).
     pub fn start_select(&mut self, m: u64, k: u64, cfg: KSelectConfig, out: &mut impl KOut) {
         assert!(self.view.is_anchor(), "start_select on a non-anchor node");
-        if self.view.n == 1 {
+        if self.view.n() == 1 {
             // Degenerate single-node instance: select locally.
             assert!(k >= 1 && k <= self.cands.len() as u64);
             self.result = Some(self.cands[k as usize - 1]);
             return;
         }
         self.announce = cfg.announce;
-        let (ctl, first) = AnchorCtl::start(self.view.n as u64, m, k, cfg);
+        let (ctl, first) = AnchorCtl::start(self.view.n() as u64, m, k, cfg);
         self.ctl = Some(ctl);
         self.process_cmd(first, out);
     }
@@ -234,7 +234,7 @@ impl KSelectNode {
         match &cmd {
             Cmd::Announce { .. } => {}
             _ => {
-                self.collector = Collector::new(&self.view.children);
+                self.collector = Collector::new(&self.view.children());
                 self.own_rsp = None;
             }
         }
@@ -309,10 +309,10 @@ impl KSelectNode {
                         epoch,
                         pos: cursor,
                         key: *key,
-                        origin: self.view.me,
+                        origin: self.view.me(),
                         n_prime,
                     };
-                    let msg = RouteMsg::start(self.view.me, pos_point(epoch, cursor), place);
+                    let msg = RouteMsg::start(self.view.me(), pos_point(epoch, cursor), place);
                     self.dispatch_place(msg, out);
                     cursor += 1;
                 }
@@ -353,7 +353,7 @@ impl KSelectNode {
     }
 
     fn forward_down(&mut self, cmd: Cmd, out: &mut impl KOut) {
-        for child in self.view.children.clone() {
+        for child in self.view.children() {
             out.send_k(child, KMsg::Down(cmd.clone()));
         }
     }
@@ -418,7 +418,7 @@ impl KSelectNode {
     }
 
     fn send_or_turn(&mut self, combined: Rsp, out: &mut impl KOut) {
-        match self.view.parent {
+        match self.view.parent() {
             Some(p) => out.send_k(p, KMsg::Up(combined)),
             None => {
                 let next = self
@@ -469,7 +469,7 @@ impl KSelectNode {
                 key: p.key,
                 a: 1,
                 b: p.n_prime,
-                parent: self.view.me,
+                parent: self.view.me(),
                 parent_copy: ROOT_PARENT,
             },
             out,
@@ -498,7 +498,7 @@ impl KSelectNode {
                 key: s.key,
                 a: lo,
                 b: hi,
-                parent: self.view.me,
+                parent: self.view.me(),
                 parent_copy: j,
             };
             match hop_start(&self.view, bit, child) {
@@ -524,9 +524,9 @@ impl KSelectNode {
             cand: s.cand,
             copy: j,
             key: s.key,
-            back: self.view.me,
+            back: self.view.me(),
         };
-        let msg = RouteMsg::start(self.view.me, pair_point(s.epoch, s.cand, j), cmp);
+        let msg = RouteMsg::start(self.view.me(), pair_point(s.epoch, s.cand, j), cmp);
         self.dispatch_compare(msg, out);
     }
 

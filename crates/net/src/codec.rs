@@ -169,7 +169,7 @@ impl Wire for Segments {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Segments {
-            parts: Vec::<(u64, Interval)>::decode(r)?,
+            parts: dpq_arena::SmallVec::decode(r)?,
         })
     }
 }
@@ -327,7 +327,7 @@ impl Wire for BatchEntry {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(BatchEntry {
-            ins: Vec::<u64>::decode(r)?,
+            ins: dpq_arena::SmallVec::decode(r)?,
             del: r.varint()?,
         })
     }
@@ -359,7 +359,7 @@ impl Wire for EntryAssign {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(EntryAssign {
-            ins: Vec::<Interval>::decode(r)?,
+            ins: dpq_arena::SmallVec::decode(r)?,
             ins_seq: Interval::decode(r)?,
             del: Segments::decode(r)?,
             bottom: r.varint()?,
@@ -793,9 +793,10 @@ impl<M: Wire> Wire for ReliableMsg<M> {
                 put_varint(out, *seq);
                 msg.encode(out);
             }
-            ReliableMsg::Ack { seq } => {
+            ReliableMsg::Ack { seq, cum } => {
                 out.push(1);
                 put_varint(out, *seq);
+                put_varint(out, *cum);
             }
         }
     }
@@ -805,7 +806,10 @@ impl<M: Wire> Wire for ReliableMsg<M> {
                 seq: r.varint()?,
                 msg: M::decode(r)?,
             }),
-            1 => Ok(ReliableMsg::Ack { seq: r.varint()? }),
+            1 => Ok(ReliableMsg::Ack {
+                seq: r.varint()?,
+                cum: r.varint()?,
+            }),
             tag => Err(WireError::BadTag {
                 what: "ReliableMsg",
                 tag,

@@ -200,7 +200,7 @@ where
             from,
             frame: RawBytes(bytes),
         })?;
-        if let ReliableMsg::Ack { seq } = &msg {
+        if let ReliableMsg::Ack { seq, .. } = &msg {
             if let Some(sent) = self.rtt_pending.remove(&(from, *seq)) {
                 self.ack_rtt
                     .entry(from)

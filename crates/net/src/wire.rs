@@ -252,6 +252,25 @@ impl<T: Wire> Wire for Vec<T> {
     }
 }
 
+// Wire-identical to `Vec<T>`: the inline/spill split is a memory-layout
+// concern, not a protocol one.
+impl<T: Wire + Copy + Default, const N: usize> Wire for dpq_arena::SmallVec<T, N> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        for v in self.iter() {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len("SmallVec")?;
+        let mut v = dpq_arena::SmallVec::new();
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
 impl<A: Wire, B: Wire> Wire for (A, B) {
     fn encode(&self, out: &mut Vec<u8>) {
         self.0.encode(out);

@@ -298,6 +298,7 @@ fn reliable<M>(rng: &mut DetRng, msg: M) -> ReliableMsg<M> {
     } else {
         ReliableMsg::Ack {
             seq: rng.next_u64_inline(),
+            cum: rng.next_u64_inline(),
         }
     }
 }

@@ -33,4 +33,4 @@ pub use ldb::{Topology, VirtId, VirtKind, VirtNode};
 pub use routing::{
     hop_advance, hop_start, route_path, HopMsg, HopOutcome, RouteMsg, RouteOutcome, RouteProgress,
 };
-pub use view::{NodeView, VirtView};
+pub use view::{Children, NodeView, ViewTable, VirtView};

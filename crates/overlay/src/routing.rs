@@ -90,15 +90,15 @@ pub enum RouteOutcome<M> {
 /// convenience alias for protocol code.
 pub type RouteProgress<M> = RouteOutcome<M>;
 
-/// Advance the route as far as possible inside the real node `view.me`.
+/// Advance the route as far as possible inside the real node `view.me()`.
 ///
 /// Free moves (virtual edges between the node's own virtual nodes, and
 /// consecutive cycle positions that happen to belong to the same real node)
 /// are looped through locally; the function returns on delivery or when the
 /// next hop crosses to a different real node.
 pub fn advance<M>(view: &NodeView, mut msg: RouteMsg<M>) -> RouteOutcome<M> {
-    debug_assert_eq!(msg.at.real, view.me, "message at a foreign virtual node");
-    let d = view.route_bits;
+    debug_assert_eq!(msg.at.real, view.me(), "message at a foreign virtual node");
+    let d = view.route_bits();
     let scale = (1u64 << d) as f64;
     let truncated = (msg.target * scale) as u64 & ((1 << d) - 1);
     loop {
@@ -110,7 +110,10 @@ pub fn advance<M>(view: &NodeView, mut msg: RouteMsg<M>) -> RouteOutcome<M> {
                 let bit = (truncated >> msg.steps_done) & 1 == 1;
                 msg.steps_done += 1;
                 msg.walk_back = false;
-                msg.at = VirtId::new(view.me, if bit { VirtKind::Right } else { VirtKind::Left });
+                msg.at = VirtId::new(
+                    view.me(),
+                    if bit { VirtKind::Right } else { VirtKind::Left },
+                );
                 continue;
             }
             // Walk to the nearest middle virtual node: succ-ward until the
@@ -138,7 +141,7 @@ pub fn advance<M>(view: &NodeView, mut msg: RouteMsg<M>) -> RouteOutcome<M> {
                 vv.pred
             }
         };
-        if next.real == view.me {
+        if next.real == view.me() {
             msg.at = next;
         } else {
             msg.at = next;
@@ -173,7 +176,7 @@ impl<M: BitSize> BitSize for HopMsg<M> {
 /// Result of advancing a hop inside one real node.
 #[derive(Debug)]
 pub enum HopOutcome<M> {
-    /// The payload reached the middle virtual node of `view.me`.
+    /// The payload reached the middle virtual node of `view.me()`.
     Arrived {
         /// The carried payload.
         payload: M,
@@ -187,10 +190,13 @@ pub enum HopOutcome<M> {
     },
 }
 
-/// Start a de Bruijn hop from `view.me`'s middle toward its `bit`-child and
+/// Start a de Bruijn hop from `view.me()`'s middle toward its `bit`-child and
 /// advance as far as possible locally.
 pub fn hop_start<M>(view: &NodeView, bit: bool, payload: M) -> HopOutcome<M> {
-    let at = VirtId::new(view.me, if bit { VirtKind::Right } else { VirtKind::Left });
+    let at = VirtId::new(
+        view.me(),
+        if bit { VirtKind::Right } else { VirtKind::Left },
+    );
     hop_advance(
         view,
         HopMsg {
@@ -203,7 +209,7 @@ pub fn hop_start<M>(view: &NodeView, bit: bool, payload: M) -> HopOutcome<M> {
 
 /// Advance a hop at the real node currently holding it.
 pub fn hop_advance<M>(view: &NodeView, mut msg: HopMsg<M>) -> HopOutcome<M> {
-    debug_assert_eq!(msg.at.real, view.me);
+    debug_assert_eq!(msg.at.real, view.me());
     loop {
         if msg.at.kind == VirtKind::Middle {
             return HopOutcome::Arrived {
@@ -220,7 +226,7 @@ pub fn hop_advance<M>(view: &NodeView, mut msg: HopMsg<M>) -> HopOutcome<M> {
             vv.pred
         };
         msg.at = next;
-        if next.real != view.me {
+        if next.real != view.me() {
             return HopOutcome::Forward { to: next.real, msg };
         }
     }
@@ -232,8 +238,9 @@ pub fn hop_advance<M>(view: &NodeView, mut msg: HopMsg<M>) -> HopOutcome<M> {
 pub fn route_path(topo: &crate::ldb::Topology, from: NodeId, target: f64) -> (Vec<NodeId>, VirtId) {
     let mut path = vec![from];
     let mut msg = RouteMsg::start(from, target, ());
+    let table = crate::view::ViewTable::build(topo);
     loop {
-        let view = NodeView::extract(topo, msg.at.real);
+        let view = table.view(msg.at.real);
         match advance(&view, msg) {
             RouteOutcome::Delivered { at, .. } => return (path, at),
             RouteOutcome::Forward { to, msg: m } => {
@@ -321,14 +328,15 @@ mod tests {
     /// Analysis helper for tests: run one hop to completion.
     fn hop_path(t: &Topology, from: NodeId, bit: bool) -> (Vec<NodeId>, NodeId) {
         let mut path = vec![from];
-        let mut out = hop_start(&NodeView::extract(t, from), bit, ());
+        let table = crate::view::ViewTable::build(t);
+        let mut out = hop_start(&table.view(from), bit, ());
         loop {
             match out {
                 HopOutcome::Arrived { .. } => return (path.clone(), *path.last().unwrap()),
                 HopOutcome::Forward { to, msg } => {
                     path.push(to);
                     assert!(path.len() < 3 * t.n() + 10, "hop did not terminate");
-                    out = hop_advance(&NodeView::extract(t, to), msg);
+                    out = hop_advance(&table.view(to), msg);
                 }
             }
         }

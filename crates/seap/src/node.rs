@@ -147,8 +147,8 @@ pub struct SeapNode {
 impl SeapNode {
     /// A fresh node; the anchor (per the view) gets the phase sequencer.
     pub fn new(view: NodeView, cfg: SeapConfig) -> Self {
-        let collector_count = Collector::new(&view.children);
-        let collector_done = Collector::new(&view.children);
+        let collector_count = Collector::new(&view.children());
+        let collector_done = Collector::new(&view.children());
         let anchor = view.is_anchor().then_some(SeapAnchor {
             stage: AStage::InsCount,
             m: 0,
@@ -156,7 +156,7 @@ impl SeapNode {
             k_eff: 0,
             key_k: None,
         });
-        let rng = DetRng::new(cfg.seed ^ 0x5EA9).split(view.me.0);
+        let rng = DetRng::new(cfg.seed ^ 0x5EA9).split(view.me().0);
         SeapNode {
             view,
             cfg,
@@ -194,7 +194,7 @@ impl SeapNode {
     /// Issue an Insert of a fresh element.
     pub fn issue_insert(&mut self, prio: u64, payload: u64) -> OpId {
         let e = Element::new(
-            dpq_core::ElemId::compose(self.view.me, self.elem_seq),
+            dpq_core::ElemId::compose(self.view.me(), self.elem_seq),
             dpq_core::Priority(prio),
             payload,
         );
@@ -209,7 +209,7 @@ impl SeapNode {
 
     /// Issue a request (buffered until the matching phase's snapshot).
     pub fn issue(&mut self, kind: OpKind) -> OpId {
-        let id = self.history.issue(self.view.me, kind);
+        let id = self.history.issue(self.view.me(), kind);
         match kind {
             OpKind::Insert(e) => self.ins_buf.push((id, e)),
             OpKind::DeleteMin => self.del_buf.push(id),
@@ -249,15 +249,23 @@ impl SeapNode {
 
     fn put(&mut self, logical: u64, elem: Element, token: u64, ctx: &mut Ctx<SeapMsg>) {
         self.pending_acks += 1;
-        let req = self.client.put(self.view.me, logical, elem, token);
-        let msg = RouteMsg::start(self.view.me, point_for(domains::SEAP_INSERT, logical), req);
+        let req = self.client.put(self.view.me(), logical, elem, token);
+        let msg = RouteMsg::start(
+            self.view.me(),
+            point_for(domains::SEAP_INSERT, logical),
+            req,
+        );
         self.dispatch_dht(msg, ctx);
     }
 
     fn get(&mut self, logical: u64, token: u64, ctx: &mut Ctx<SeapMsg>) {
         self.pending_gets += 1;
-        let req = self.client.get(self.view.me, logical, token);
-        let msg = RouteMsg::start(self.view.me, point_for(domains::SEAP_INSERT, logical), req);
+        let req = self.client.get(self.view.me(), logical, token);
+        let msg = RouteMsg::start(
+            self.view.me(),
+            point_for(domains::SEAP_INSERT, logical),
+            req,
+        );
         self.dispatch_dht(msg, ctx);
     }
 
@@ -309,7 +317,7 @@ impl SeapNode {
     // ---- wave handling ----------------------------------------------------
 
     fn forward_down(&mut self, msg: SeapMsg, ctx: &mut Ctx<SeapMsg>) {
-        for child in self.view.children.clone() {
+        for child in self.view.children() {
             ctx.send(child, msg.clone());
         }
     }
@@ -324,14 +332,14 @@ impl SeapNode {
                 assert!(
                     phase == self.phase || phase == self.phase + 1,
                     "Begin for phase {phase} at {} in phase {}",
-                    self.view.me,
+                    self.view.me(),
                     self.phase
                 );
                 self.phase = phase;
                 if self.view.is_anchor() {
                     ctx.phase_mark("seap.phase", phase);
                 }
-                self.collector_count = Collector::new(&self.view.children);
+                self.collector_count = Collector::new(&self.view.children());
                 let count = if phase % 2 == 0 {
                     self.snapshot_ins = std::mem::take(&mut self.ins_buf);
                     self.snapshot_ins.len() as u64
@@ -354,7 +362,7 @@ impl SeapNode {
                 self.begin_work_wave();
                 // Slice the witness range: own inserts first, then children.
                 let (own, mut rest) = wit.take_prefix(self.snapshot_ins.len() as u64);
-                let children = self.view.children.clone();
+                let children = self.view.children();
                 let counts = self.child_ins_counts.clone();
                 for (child, cnt) in children.iter().zip(&counts) {
                     let (slice, r) = rest.take_prefix(*cnt);
@@ -378,7 +386,7 @@ impl SeapNode {
                 assert_eq!(phase, self.phase);
                 // KSelect is over for this phase; drop the working copy.
                 self.ks = None;
-                self.collector_count = Collector::new(&self.view.children);
+                self.collector_count = Collector::new(&self.view.children());
                 let count = self
                     .shard
                     .elements()
@@ -410,7 +418,7 @@ impl SeapNode {
                 let (own_store, mut store_rest) = store.take_prefix(own_store_cnt);
                 let (own_del, mut del_rest) = del.take_prefix(self.snapshot_del.len() as u64);
                 let (own_wit, mut wit_rest) = wit.take_prefix(self.snapshot_del.len() as u64);
-                let children = self.view.children.clone();
+                let children = self.view.children();
                 // Without a preceding StoreCount wave (k_eff = 0) the store
                 // counts are vacuously zero — `child_store_counts` would be
                 // stale or empty, and a short vector would silently truncate
@@ -484,7 +492,7 @@ impl SeapNode {
     }
 
     fn begin_work_wave(&mut self) {
-        self.collector_done = Collector::new(&self.view.children);
+        self.collector_done = Collector::new(&self.view.children());
         self.awaiting_done = true;
         debug_assert_eq!(self.pending_acks, 0);
         debug_assert_eq!(self.pending_gets, 0);
@@ -506,7 +514,7 @@ impl SeapNode {
         } else {
             self.child_del_counts = counts;
         }
-        match self.view.parent {
+        match self.view.parent() {
             Some(p) => {
                 let phase = self.phase;
                 let msg = if store_wave {
@@ -536,7 +544,7 @@ impl SeapNode {
         }
         self.awaiting_done = false;
         let _ = self.collector_done.take();
-        match self.view.parent {
+        match self.view.parent() {
             Some(p) => ctx.send(p, SeapMsg::DoneUp { phase: self.phase }),
             None => self.anchor_on_done(ctx),
         }
@@ -658,7 +666,7 @@ impl SeapNode {
         // and a direct call would recurse unboundedly on idle single-node
         // clusters (phases chain synchronously when no DHT round-trip
         // intervenes).
-        ctx.send(self.view.me, SeapMsg::Begin { phase });
+        ctx.send(self.view.me(), SeapMsg::Begin { phase });
     }
 }
 
@@ -697,7 +705,7 @@ impl Protocol for SeapNode {
                         self.pending_acks -= 1;
                         if token < REPOS_TOKEN {
                             let id = OpId {
-                                node: self.view.me,
+                                node: self.view.me(),
                                 seq: token,
                             };
                             self.history.complete(id, OpReturn::Inserted);
@@ -707,7 +715,7 @@ impl Protocol for SeapNode {
                     Completion::GotElement { token, elem } => {
                         self.pending_gets -= 1;
                         let id = OpId {
-                            node: self.view.me,
+                            node: self.view.me(),
                             seq: token,
                         };
                         self.history.complete(id, OpReturn::Removed(elem));

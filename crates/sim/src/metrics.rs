@@ -270,6 +270,13 @@ impl Metrics {
     /// return `None` and are ignored (protocol-internal traffic).
     pub fn note_completed(&mut self, op: OpId, now: u64) -> Option<u64> {
         let t0 = self.pending_ops.remove(&op)?;
+        // A drained table releases its buckets: a bulk workload (e.g. one
+        // op per node at n = 10⁵) would otherwise pin the whole-wave
+        // capacity for the rest of the run. The threshold keeps small
+        // steady-state populations from thrashing the allocator.
+        if self.pending_ops.is_empty() && self.pending_ops.capacity() > 64 {
+            self.pending_ops = HashMap::new();
+        }
         let lat = now.saturating_sub(t0);
         self.latency_hist.record(lat);
         Some(lat)

@@ -62,11 +62,25 @@ impl RunOutcome {
 /// duplicate a message.
 pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer, M: Telemetry = NullTelemetry> {
     nodes: Vec<P>,
-    /// Messages sent in the previous round, grouped per destination,
-    /// deliverable now.
-    inboxes: Vec<Vec<Envelope<P::Msg>>>,
-    /// Messages sent in the current round, deliverable next round.
-    next: Vec<Envelope<P::Msg>>,
+    /// The messages deliverable this round, one flat buffer: sent last
+    /// round, in send order, plus any matured delayed messages behind them.
+    /// Delivered slots are `take`n during the round; at round end the fully
+    /// consumed buffer swaps roles with `fresh`. Two buffers sized by peak
+    /// round traffic replace `n` per-node inbox vectors, each of which
+    /// pinned its own high-water capacity.
+    next: Vec<Option<Envelope<P::Msg>>>,
+    /// This round's sends, appended in send order. Swapped into `next` at
+    /// round end — a pointer swap, where appending sends behind the
+    /// deliverable prefix of one shared buffer would memmove the whole
+    /// tail over the consumed prefix every round.
+    fresh: Vec<Option<Envelope<P::Msg>>>,
+    /// Permutation of the deliverable prefix of `next`, grouped by
+    /// destination (stable: within one node, send order) — rebuilt by
+    /// [`Self::regroup`] each round.
+    order: Vec<u32>,
+    /// Counting-sort bounds: after `regroup`, `starts[i]` is one past the
+    /// end of node `i`'s row in `order`.
+    starts: Vec<u32>,
     /// Messages the fault layer delayed: `(deliverable_round, envelope)`.
     future: Vec<(u64, Envelope<P::Msg>)>,
     /// The fault plan being executed (the null plan by default).
@@ -129,8 +143,10 @@ where
         let n = nodes.len();
         SyncScheduler {
             nodes,
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
             next: Vec::new(),
+            fresh: Vec::new(),
+            order: Vec::new(),
+            starts: Vec::new(),
             future: Vec::new(),
             faults: FaultState::new(plan, n),
             metrics: Metrics::new(n),
@@ -222,7 +238,7 @@ where
     /// Messages currently in flight (sent last round and not yet processed,
     /// those sent this round, and those the fault layer is delaying).
     pub fn in_flight(&self) -> usize {
-        self.inboxes.iter().map(Vec::len).sum::<usize>() + self.next.len() + self.future.len()
+        self.next.iter().flatten().count() + self.fresh.iter().flatten().count() + self.future.len()
     }
 
     /// Record a message the fault layer destroyed at delivery time.
@@ -240,6 +256,37 @@ where
         }
     }
 
+    /// Group the deliverable messages (the whole of `next`, in global send
+    /// order) by destination: a stable counting sort writing a permutation
+    /// into `order` with row bounds in `starts`. Stability means that within
+    /// one destination, delivery order equals send order — exactly the order
+    /// the retired per-node inbox vectors produced, which the golden traces
+    /// pin. Touches the allocator only while the buffers grow toward their
+    /// high-water capacity.
+    fn regroup(&mut self) {
+        let n = self.nodes.len();
+        let m = self.next.len();
+        self.starts.clear();
+        self.starts.resize(n + 1, 0);
+        for env in &self.next {
+            let env = env.as_ref().expect("regroup over a consumed slot");
+            self.starts[env.dst.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            self.starts[i] += self.starts[i - 1];
+        }
+        self.order.clear();
+        self.order.resize(m, 0);
+        for idx in 0..m {
+            let d = self.next[idx].as_ref().unwrap().dst.index();
+            let pos = self.starts[d] as usize;
+            self.order[pos] = idx as u32;
+            self.starts[d] += 1;
+        }
+        // Each `starts[d]` has advanced from the beginning of row `d` to one
+        // past its end; the node loop reads rows as `prev_end..starts[i]`.
+    }
+
     /// Execute one full round: every node first processes all messages that
     /// arrived, then is activated once. Messages emitted during the round
     /// become deliverable in the next one.
@@ -255,16 +302,17 @@ where
                     self.tracer.record(tr.to_event(self.round));
                 }
             }
-            // Release matured delay-inflated messages, preserving both the
-            // release order and the relative order of what stays — one pass
-            // through a recycled scratch vector.
+            // Release matured delay-inflated messages behind the regular
+            // deliveries, preserving both the release order and the relative
+            // order of what stays — one pass through a recycled scratch
+            // vector.
             if !self.future.is_empty() {
                 let round = self.round;
                 let mut pending =
                     std::mem::replace(&mut self.future, std::mem::take(&mut self.future_scratch));
                 for (due, env) in pending.drain(..) {
                     if due <= round {
-                        self.inboxes[env.dst.index()].push(env);
+                        self.next.push(Some(env));
                     } else {
                         self.future.push((due, env));
                     }
@@ -272,20 +320,28 @@ where
                 self.future_scratch = pending;
             }
         }
+        self.regroup();
+        let mut begin = 0usize;
         for i in 0..self.nodes.len() {
             let me = NodeId(i as u64);
-            let mut inbox = std::mem::take(&mut self.inboxes[i]);
+            let end = self.starts[i] as usize;
             if self.faults.is_down(me) {
                 // Fail-pause: a down node loses its incoming traffic and is
                 // not activated; its protocol state is untouched.
-                for env in inbox.drain(..) {
+                for j in begin..end {
+                    let env = self.next[self.order[j] as usize]
+                        .take()
+                        .expect("delivery slot consumed twice");
                     self.drop_delivery(env, DropReason::Crash);
                 }
-                self.inboxes[i] = inbox;
+                begin = end;
                 continue;
             }
             let mut ctx = Ctx::from_bufs(me, self.round, &mut self.bufs);
-            for env in inbox.drain(..) {
+            for j in begin..end {
+                let env = self.next[self.order[j] as usize]
+                    .take()
+                    .expect("delivery slot consumed twice");
                 if let Some(reason) = self.faults.delivery_fault(env.src, env.dst) {
                     self.drop_delivery(env, reason);
                     continue;
@@ -305,7 +361,7 @@ where
                 }
                 self.nodes[i].on_message(env.src, env.msg, &mut ctx);
             }
-            self.inboxes[i] = inbox; // emptied; keeps its capacity for next round
+            begin = end;
             if T::ENABLED {
                 self.tracer.record(TraceEvent::Activate {
                     round: self.round,
@@ -326,10 +382,10 @@ where
                 }
             }
             if !self.faults.active() {
-                self.next.extend(ctx.drain_outbox());
+                self.fresh.extend(ctx.drain_outbox().map(Some));
             } else {
                 let round = self.round;
-                let next = &mut self.next;
+                let fresh = &mut self.fresh;
                 let future = &mut self.future;
                 let faults = &mut self.faults;
                 let tracer = &mut self.tracer;
@@ -337,7 +393,7 @@ where
                     // Queue each surviving copy, honouring fault-layer delay.
                     faults.route_send(round, env, tracer, |extra, env| {
                         if extra == 0 {
-                            next.push(env);
+                            fresh.push(Some(env));
                         } else {
                             future.push((round + 1 + extra, env));
                         }
@@ -346,9 +402,12 @@ where
             }
             ctx.into_bufs(&mut self.bufs);
         }
-        for env in self.next.drain(..) {
-            self.inboxes[env.dst.index()].push(env);
-        }
+        // The deliverable buffer is fully consumed; this round's sends
+        // become next round's deliverables by pointer swap (both buffers
+        // keep their capacity).
+        debug_assert!(self.next.iter().all(Option::is_none));
+        self.next.clear();
+        std::mem::swap(&mut self.next, &mut self.fresh);
         if T::ENABLED {
             let s = self.metrics.this_round();
             self.tracer.record(TraceEvent::RoundEnd {

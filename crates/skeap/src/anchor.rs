@@ -19,6 +19,7 @@
 
 use crate::batch::{Batch, BatchEntry};
 use dpq_agg::{Interval, Segments};
+use dpq_arena::{LinkedDeques, SmallVec};
 use dpq_core::bitsize::vlq_bits;
 use dpq_core::BitSize;
 
@@ -26,8 +27,9 @@ use dpq_core::BitSize;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EntryAssign {
     /// Insert positions per priority index: `ins[p]` has cardinality
-    /// `i_{j,p}` of the sub-batch this assign is for.
-    pub ins: Vec<Interval>,
+    /// `i_{j,p}` of the sub-batch this assign is for. Inline up to 4
+    /// priorities, matching [`crate::batch::BatchEntry::ins`].
+    pub ins: SmallVec<Interval, 4>,
     /// Witness range covering all `Σ_p i_{j,p}` inserts of the group.
     pub ins_seq: Interval,
     /// Delete positions, tagged by priority, oldest first. May cover fewer
@@ -91,8 +93,10 @@ pub struct AnchorState {
     discipline: Discipline,
     /// Next fresh position per priority (1-based, monotone).
     next: Vec<u64>,
-    /// Live position intervals per priority, ascending and disjoint.
-    live: Vec<std::collections::VecDeque<Interval>>,
+    /// Live position intervals per priority, ascending and disjoint: one
+    /// logical deque per priority, all sharing one slot arena (a
+    /// `Vec<VecDeque<Interval>>` would pay a heap block per priority).
+    live: LinkedDeques<Interval>,
     /// The `count` variable of §3.3, incremented per processed request.
     witness: u64,
 }
@@ -108,7 +112,7 @@ impl AnchorState {
         AnchorState {
             discipline,
             next: vec![1; n_prios],
-            live: vec![std::collections::VecDeque::new(); n_prios],
+            live: LinkedDeques::with_queues(n_prios),
             witness: 1,
         }
     }
@@ -120,7 +124,7 @@ impl AnchorState {
 
     /// Elements currently in the heap at priority `p` (anchor's view).
     pub fn occupancy(&self, p: usize) -> u64 {
-        self.live[p].iter().map(Interval::cardinality).sum()
+        self.live.iter(p).map(Interval::cardinality).sum()
     }
 
     /// Elements currently in the heap, all priorities.
@@ -148,7 +152,7 @@ impl AnchorState {
         // Inserts: fresh positions [next_p, next_p + i_{j,p} − 1], appended
         // to the live back (merging when contiguous keeps FIFO at exactly
         // one interval, the paper's [first_p, last_p]).
-        let ins: Vec<Interval> = entry
+        let ins: SmallVec<Interval, 4> = entry
             .ins
             .iter()
             .enumerate()
@@ -156,9 +160,9 @@ impl AnchorState {
                 let iv = Interval::new(self.next[p], self.next[p] + cnt - 1);
                 if cnt > 0 {
                     self.next[p] += cnt;
-                    match self.live[p].back_mut() {
+                    match self.live.back_mut(p) {
                         Some(back) if back.hi + 1 == iv.lo => back.hi = iv.hi,
-                        _ => self.live[p].push_back(iv),
+                        _ => self.live.push_back(p, iv),
                     }
                 }
                 iv
@@ -171,14 +175,14 @@ impl AnchorState {
         // Deletes: consume live positions of the most-prioritized non-empty
         // priority first, walking up the order (§3.2.2) — from the oldest
         // end (FIFO) or the newest (LIFO).
-        let mut pieces: Vec<(u64, Interval)> = Vec::new();
+        let mut pieces: SmallVec<(u64, Interval), 4> = SmallVec::new();
         let mut need = entry.del;
         for p in 0..self.next.len() {
             while need > 0 {
                 let Some(edge) = (if lifo {
-                    self.live[p].back_mut()
+                    self.live.back_mut(p)
                 } else {
-                    self.live[p].front_mut()
+                    self.live.front_mut(p)
                 }) else {
                     break;
                 };
@@ -195,9 +199,9 @@ impl AnchorState {
                 };
                 if edge.is_empty() {
                     if lifo {
-                        self.live[p].pop_back();
+                        self.live.pop_back(p);
                     } else {
-                        self.live[p].pop_front();
+                        self.live.pop_front(p);
                     }
                 }
                 pieces.push((p as u64, piece));
@@ -208,10 +212,10 @@ impl AnchorState {
         // FIFO and *descending* iteration for LIFO, so LIFO pieces are
         // stored reversed (see `Segments::take_prefix_dir`).
         if lifo {
-            pieces.reverse();
+            pieces.as_mut_slice().reverse();
         }
         let mut del = Segments::new();
-        for (p, piece) in pieces {
+        for &(p, piece) in &pieces {
             del.push(p, piece);
         }
         let del_seq = Interval::new(self.witness, self.witness + entry.del - 1);
@@ -237,35 +241,41 @@ impl AnchorState {
 pub fn decompose(assigns: &[EntryAssign], parts: &[&Batch]) -> Vec<Vec<EntryAssign>> {
     let mut out: Vec<Vec<EntryAssign>> =
         parts.iter().map(|b| Vec::with_capacity(b.len())).collect();
+    // Cursor over the group's insert positions, reused across groups. Parts
+    // past a batch's length carry implicit zero counts, read through the
+    // `Option` below instead of materialising a zero entry per part.
+    let mut ins_rest: SmallVec<Interval, 4> = SmallVec::new();
     for (j, assign) in assigns.iter().enumerate() {
         debug_assert!(assign.check());
-        // Cursors over the group's position and witness ranges.
-        let mut ins_rest: Vec<Interval> = assign.ins.clone();
+        ins_rest.clear();
+        ins_rest.extend_from_slice(&assign.ins);
         let mut ins_seq_rest = assign.ins_seq;
         let mut del_rest = assign.del.clone();
         let mut bottom_rest = assign.bottom;
         let mut del_seq_rest = assign.del_seq;
         for (part_idx, part) in parts.iter().enumerate() {
-            let e = part.entry(j);
-            let ins: Vec<Interval> = ins_rest
+            let e = part.entries.get(j);
+            let ins: SmallVec<Interval, 4> = ins_rest
                 .iter_mut()
-                .zip(&e.ins)
-                .map(|(rest, &cnt)| {
+                .enumerate()
+                .map(|(p, rest)| {
+                    let cnt = e.map_or(0, |e| e.ins[p]);
                     let (take, r) = rest.take_prefix(cnt);
                     debug_assert_eq!(take.cardinality(), cnt, "insert positions exhausted");
                     *rest = r;
                     take
                 })
                 .collect();
-            let (ins_seq, r) = ins_seq_rest.take_prefix(e.ins_total());
+            let (ins_seq, r) = ins_seq_rest.take_prefix(e.map_or(0, BatchEntry::ins_total));
             ins_seq_rest = r;
-            let (del, r) = del_rest.take_prefix_dir(e.del, assign.lifo);
+            let e_del = e.map_or(0, |e| e.del);
+            let (del, r) = del_rest.take_prefix_dir(e_del, assign.lifo);
             del_rest = r;
             let covered = del.total();
-            let bottom = e.del - covered;
+            let bottom = e_del - covered;
             debug_assert!(bottom <= bottom_rest, "bottom budget exceeded");
             bottom_rest -= bottom;
-            let (del_seq, r) = del_seq_rest.take_prefix(e.del);
+            let (del_seq, r) = del_seq_rest.take_prefix(e_del);
             del_seq_rest = r;
             // Only keep groups the part actually has (trim trailing zeros).
             if j < part.len() {
@@ -305,7 +315,15 @@ impl dpq_core::StateHash for AnchorState {
             Discipline::Lifo => 1,
         });
         self.next.state_hash(h);
-        self.live.state_hash(h);
+        // Byte-identical to the former `Vec<VecDeque<Interval>>` hash:
+        // queue count, then per queue its length and intervals in order.
+        h.write_u64(self.live.num_queues() as u64);
+        for p in 0..self.live.num_queues() {
+            h.write_u64(self.live.len(p) as u64);
+            for iv in self.live.iter(p) {
+                iv.state_hash(h);
+            }
+        }
         h.write_u64(self.witness);
     }
 }

@@ -10,14 +10,16 @@
 //!
 //! Combining batches adds them entrywise, zero-padding the shorter one.
 
+use dpq_arena::SmallVec;
 use dpq_core::bitsize::vlq_bits;
 use dpq_core::{BitSize, OpKind};
 
 /// One `(i_j, d_j)` group.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BatchEntry {
-    /// Inserts per priority index (length = |𝒫|).
-    pub ins: Vec<u64>,
+    /// Inserts per priority index (length = |𝒫|). Inline up to 4
+    /// priorities — the E-series universes — so a group costs no heap.
+    pub ins: SmallVec<u64, 4>,
     /// DeleteMin count.
     pub del: u64,
 }
@@ -26,7 +28,7 @@ impl BatchEntry {
     /// A group with no operations.
     pub fn zero(n_prios: usize) -> Self {
         BatchEntry {
-            ins: vec![0; n_prios],
+            ins: SmallVec::from_elem(0, n_prios),
             del: 0,
         }
     }
@@ -180,14 +182,14 @@ mod tests {
         assert_eq!(
             b.entries[0],
             BatchEntry {
-                ins: vec![2, 0],
+                ins: SmallVec::from_slice(&[2, 0]),
                 del: 1
             }
         );
         assert_eq!(
             b.entries[1],
             BatchEntry {
-                ins: vec![0, 1],
+                ins: SmallVec::from_slice(&[0, 1]),
                 del: 1
             }
         );
@@ -202,14 +204,14 @@ mod tests {
         assert_eq!(
             b.entries[0],
             BatchEntry {
-                ins: vec![0],
+                ins: SmallVec::from_slice(&[0]),
                 del: 1
             }
         );
         assert_eq!(
             b.entries[1],
             BatchEntry {
-                ins: vec![1],
+                ins: SmallVec::from_slice(&[1]),
                 del: 0
             }
         );
@@ -225,14 +227,14 @@ mod tests {
         assert_eq!(
             c.entries[0],
             BatchEntry {
-                ins: vec![1, 1],
+                ins: SmallVec::from_slice(&[1, 1]),
                 del: 1
             }
         );
         assert_eq!(
             c.entries[1],
             BatchEntry {
-                ins: vec![0, 1],
+                ins: SmallVec::from_slice(&[0, 1]),
                 del: 0
             }
         );

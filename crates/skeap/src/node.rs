@@ -93,8 +93,9 @@ pub struct SkeapNode {
     /// Batches for the *next* cycle arriving before we finished this one.
     early: Vec<(NodeId, u64, Batch)>,
 
-    /// Phase-2 state — only the anchor carries one.
-    anchor: Option<AnchorState>,
+    /// Phase-2 state — only the anchor carries one. Boxed so the n−1
+    /// non-anchor nodes pay one pointer, not an inline `AnchorState`.
+    anchor: Option<Box<AnchorState>>,
 
     // ---- DHT ----
     /// This node's DHT storage.
@@ -105,10 +106,10 @@ pub struct SkeapNode {
 impl SkeapNode {
     /// A fresh node; the anchor (per the view) gets the Phase-2 state.
     pub fn new(view: NodeView, cfg: SkeapConfig) -> Self {
-        let collector = Collector::new(&view.children);
+        let collector = Collector::new(&view.children());
         let anchor = view
             .is_anchor()
-            .then(|| AnchorState::with_discipline(cfg.n_prios, cfg.discipline));
+            .then(|| Box::new(AnchorState::with_discipline(cfg.n_prios, cfg.discipline)));
         SkeapNode {
             view,
             cfg,
@@ -143,7 +144,7 @@ impl SkeapNode {
                 "priority outside the constant universe"
             );
         }
-        let id = self.history.issue(self.view.me, kind);
+        let id = self.history.issue(self.view.me(), kind);
         self.buffer.push((id, kind));
         id
     }
@@ -151,7 +152,7 @@ impl SkeapNode {
     /// Issue an Insert of a fresh element with the given priority.
     pub fn issue_insert(&mut self, prio: u64, payload: u64) -> OpId {
         let e = dpq_core::Element::new(
-            dpq_core::ElemId::compose(self.view.me, self.elem_seq),
+            dpq_core::ElemId::compose(self.view.me(), self.elem_seq),
             dpq_core::Priority(prio),
             payload,
         );
@@ -184,12 +185,12 @@ impl SkeapNode {
     /// `None` at non-anchor nodes; a real deployment would expose this via
     /// one counting aggregation (§2.2).
     pub fn anchor_heap_size(&self) -> Option<u64> {
-        self.anchor.as_ref().map(AnchorState::total_occupancy)
+        self.anchor.as_deref().map(AnchorState::total_occupancy)
     }
 
     /// The anchor's per-priority occupancy. `None` at non-anchor nodes.
     pub fn anchor_occupancy(&self, prio: u64) -> Option<u64> {
-        self.anchor.as_ref().map(|a| a.occupancy(prio as usize))
+        self.anchor.as_deref().map(|a| a.occupancy(prio as usize))
     }
 
     fn dispatch_dht(&mut self, msg: RouteMsg<dpq_dht::DhtReq>, ctx: &mut Ctx<SkeapMsg>) {
@@ -230,7 +231,7 @@ impl SkeapNode {
                 .assign(&combined);
             self.handle_down(assigns, ctx);
         } else {
-            let parent = self.view.parent.expect("non-anchor has a parent");
+            let parent = self.view.parent().expect("non-anchor has a parent");
             ctx.send(
                 parent,
                 SkeapMsg::BatchUp {
@@ -274,9 +275,12 @@ impl SkeapNode {
                     g.ins_seq = rest;
                     self.history.witness(*id, w.lo);
                     let logical = slot_key(p as u64, one.lo);
-                    let req = self.client.put(self.view.me, logical, *e, id.seq);
-                    let msg =
-                        RouteMsg::start(self.view.me, point_for(domains::SKEAP_KEY, logical), req);
+                    let req = self.client.put(self.view.me(), logical, *e, id.seq);
+                    let msg = RouteMsg::start(
+                        self.view.me(),
+                        point_for(domains::SKEAP_KEY, logical),
+                        req,
+                    );
                     self.dispatch_dht(msg, ctx);
                 }
                 OpKind::DeleteMin => {
@@ -295,9 +299,9 @@ impl SkeapNode {
                     let slot = one.iter_positions().next();
                     if let Some((p, pos)) = slot {
                         let logical = slot_key(p, pos);
-                        let req = self.client.get(self.view.me, logical, id.seq);
+                        let req = self.client.get(self.view.me(), logical, id.seq);
                         let msg = RouteMsg::start(
-                            self.view.me,
+                            self.view.me(),
                             point_for(domains::SKEAP_KEY, logical),
                             req,
                         );
@@ -317,12 +321,15 @@ impl SkeapNode {
             assert_eq!(g.bottom, 0, "unassigned ⊥ deletes");
         }
 
-        // Back to Phase 1 for the next cycle.
+        // Back to Phase 1 for the next cycle. `Collector::take` in
+        // `try_advance` already reset the collector in place; `own_batch`
+        // is replaced by an empty batch (not merely cleared) so an idle
+        // node's resident footprint does not retain its last batch.
         self.cycle += 1;
         self.snapshotted = false;
         self.sent_up = false;
         self.sub_batches.clear();
-        self.collector = Collector::new(&self.view.children);
+        self.own_batch = Batch::empty(self.cfg.n_prios);
         for (from, cycle, batch) in std::mem::take(&mut self.early) {
             assert_eq!(cycle, self.cycle, "stale early batch");
             self.collector.insert(from, batch);
@@ -357,7 +364,8 @@ impl Protocol for SkeapNode {
                 } else {
                     panic!(
                         "batch for cycle {cycle} at node {} in cycle {}",
-                        self.view.me, self.cycle
+                        self.view.me(),
+                        self.cycle
                     );
                 }
             }
@@ -370,7 +378,7 @@ impl Protocol for SkeapNode {
             SkeapMsg::Resp(r) => match self.client.on_response(&r) {
                 Completion::PutDone { token } => {
                     let id = OpId {
-                        node: self.view.me,
+                        node: self.view.me(),
                         seq: token,
                     };
                     self.history.complete(id, OpReturn::Inserted);
@@ -378,7 +386,7 @@ impl Protocol for SkeapNode {
                 }
                 Completion::GotElement { token, elem } => {
                     let id = OpId {
-                        node: self.view.me,
+                        node: self.view.me(),
                         seq: token,
                     };
                     self.history.complete(id, OpReturn::Removed(elem));
@@ -412,7 +420,9 @@ impl dpq_core::StateHash for SkeapNode {
         self.sub_batches.state_hash(h);
         h.write_u64(self.sent_up as u64);
         self.early.state_hash(h);
-        self.anchor.state_hash(h);
+        // `Option<&T>` hashes the same bytes as `Option<T>` — the box is
+        // a layout detail.
+        self.anchor.as_deref().state_hash(h);
         self.shard.state_hash(h);
         self.client.state_hash(h);
     }

@@ -1,69 +1,64 @@
 #!/usr/bin/env bash
-# Record a performance snapshot into BENCH_pr6.json.
+# Record a performance + memory snapshot into BENCH_pr8.json.
 #
-# Captures the numbers PR 6 is accountable for:
-#   * scheduler stepping throughput with telemetry hooks compiled in but
-#     disabled (the `perf` probe's four headline metrics, written as
-#     `after_*` — same keys as BENCH_pr3.json so the probes diff directly),
-#   * the telemetry on/off pair: async clean steps/s with the no-op
-#     `NullTelemetry` sink vs with a live `dpq_sim::Hub` recording every
-#     delivery, plus the overhead percentage, and
-#   * experiment-suite wall-clock, sequential vs parallel (`--jobs 1` vs
-#     `--jobs <nproc>`), both with `--metrics` streaming enabled.
+# Captures the numbers PR 8 is accountable for:
+#   * the nodes × steps/s × peak-RSS frontier: one `memprobe` process per
+#     point (peak RSS is a process-lifetime high-water mark, so points
+#     must not share an address space) at n = 10k, 100k, 1M, each
+#     reporting live heap bytes/node split into node core vs scheduler
+#     machinery, rounds/s, node-steps/s, and peak RSS,
+#   * the reduction ratios against the pre-refactor core (the seed tree's
+#     memprobe at n = 100k: 1521 bytes/node core + 999 scheduler), and
+#   * the four headline scheduler-throughput metrics (same probe as
+#     BENCH_pr3/pr6, so the series stays diffable across PRs).
 #
-# The `before_*` keys are the committed `after_*` values of BENCH_pr3.json —
-# the tree this PR instrumented — baked in so the disabled-overhead a fresh
-# snapshot reports is always against the code the hooks were added to.
-# `scripts/check.sh perf` re-measures and gates at 95% of the committed
-# `after_*` values.
+# `scripts/check.sh perf` re-measures the n = 100k point and fails if
+# bytes/node regressed more than 20% over the committed
+# `after_p100k_bytes_per_node` (the memory floor), alongside the existing
+# 95% throughput floor against BENCH_pr3.json. Refresh this snapshot with
+# this script when a deliberate memory-model change moves the baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-ROOT=$(pwd)
 
-OUT=${1:-BENCH_pr6.json}
-JOBS=$(nproc 2>/dev/null || echo 1)
+OUT=${1:-BENCH_pr8.json}
 
-# Pre-PR-6 throughput (no telemetry parameter anywhere), from BENCH_pr3.json.
-BEFORE_ASYNC_CLEAN=20906336
-BEFORE_ASYNC_FAULTY=8205208
-BEFORE_SYNC_CLEAN=134525
-BEFORE_SYNC_FAULTY=114891
+# Pre-refactor node memory (seed tree, memprobe at n=100k).
+BEFORE_CORE=1521
+BEFORE_SCHED=999
 
 cargo build --workspace --release -q
 
-echo "measuring scheduler throughput (telemetry disabled)..." >&2
-METRICS=$(./target/release/perf)
-echo "measuring telemetry on/off pair..." >&2
-PAIR=$(./target/release/perf --telemetry)
-
-wallclock() { # wallclock <jobs> -> seconds (float)
-  local tmp t0 t1
-  tmp=$(mktemp -d)
-  t0=$(date +%s.%N)
-  (cd "$tmp" && "$ROOT/target/release/experiments" --jobs "$1" --metrics metrics.jsonl >/dev/null)
-  t1=$(date +%s.%N)
-  rm -rf "$tmp"
-  awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b - a}'
+point() { # point <n> <prefix> -> flat-JSON fragment with prefixed keys
+  ./target/release/memprobe "$1" | sed -e '1d' -e '$d' -e "s/^  \"/  \"$2/"
 }
 
-echo "timing experiment suite at --jobs 1..." >&2
-SUITE_SEQ=$(wallclock 1)
-echo "timing experiment suite at --jobs $JOBS..." >&2
-SUITE_PAR=$(wallclock "$JOBS")
+echo "measuring memory frontier: n=10k..." >&2
+P10K=$(point 10000 p10k_)
+echo "measuring memory frontier: n=100k..." >&2
+P100K=$(point 100000 p100k_)
+echo "measuring memory frontier: n=1M..." >&2
+P1M=$(point 1000000 p1m_)
 
-# Merge: strip the probes' braces and splice in the before_* keys and
-# suite timings (flat JSON, no parser dependency anywhere).
+AFTER_CORE=$(echo "$P100K" | sed -n 's/.*"p100k_bytes_per_node": \([0-9.]*\).*/\1/p')
+AFTER_SCHED=$(echo "$P100K" | sed -n 's/.*"p100k_sched_bytes_per_node": \([0-9.]*\).*/\1/p')
+
+echo "measuring scheduler throughput..." >&2
+METRICS=$(./target/release/perf)
+
 {
   echo "{"
-  echo "  \"before_async_clean_steps_per_sec\": $BEFORE_ASYNC_CLEAN,"
-  echo "  \"before_async_faulty_steps_per_sec\": $BEFORE_ASYNC_FAULTY,"
-  echo "  \"before_sync_clean_rounds_per_sec\": $BEFORE_SYNC_CLEAN,"
-  echo "  \"before_sync_faulty_rounds_per_sec\": $BEFORE_SYNC_FAULTY,"
-  echo "$METRICS" | sed -e '1d' -e '$d' | sed -e '$s/$/,/'
-  echo "$PAIR" | sed -e '1d' -e '$d' | sed -e '$s/$/,/'
-  echo "  \"suite_jobs\": $JOBS,"
-  echo "  \"suite_seq_secs\": $SUITE_SEQ,"
-  echo "  \"suite_par_secs\": $SUITE_PAR"
+  echo "  \"before_p100k_bytes_per_node\": $BEFORE_CORE,"
+  echo "  \"before_p100k_sched_bytes_per_node\": $BEFORE_SCHED,"
+  echo "$P10K,"
+  echo "$P100K,"
+  echo "$P1M,"
+  echo "  \"after_p100k_bytes_per_node\": $AFTER_CORE,"
+  echo "  \"after_p100k_sched_bytes_per_node\": $AFTER_SCHED,"
+  awk -v b="$BEFORE_CORE" -v a="$AFTER_CORE" \
+    'BEGIN{printf "  \"core_reduction_x\": %.2f,\n", b / a}'
+  awk -v bc="$BEFORE_CORE" -v bs="$BEFORE_SCHED" -v ac="$AFTER_CORE" -v as="$AFTER_SCHED" \
+    'BEGIN{printf "  \"total_reduction_x\": %.2f,\n", (bc + bs) / (ac + as)}'
+  echo "$METRICS" | sed -e '1d' -e '$d'
   echo "}"
 } > "$OUT"
 

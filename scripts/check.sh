@@ -58,9 +58,17 @@ fi
 # a transient load spike on shared hardware does not fail the tier.
 # Refresh the snapshot with scripts/bench-snapshot.sh when a deliberate
 # perf change moves the baseline.
+#
+# The tier also holds the memory floor: memprobe re-measures live heap
+# bytes/node at the n=100k frontier point and fails if the node core
+# regressed more than 20% over the committed BENCH_pr8.json
+# (`after_p100k_bytes_per_node`) — so a stray per-node Vec or map creeping
+# back into the hot structs fails the gate, not just the RSS of the next
+# million-node run.
 if [ "$TIER" = "perf" ]; then
   cargo bench -q -p dpq-bench --bench sched_step
   cargo run -q -p dpq-bench --release --bin perf -- --check BENCH_pr3.json --floor 0.95
+  cargo run -q -p dpq-bench --release --bin memprobe -- --check BENCH_pr8.json
 fi
 
 # Model-checking tier (opt-in: `./scripts/check.sh mc`): bounded DFS over
