@@ -10,6 +10,7 @@
 
 pub mod exp_baselines;
 pub mod exp_faults;
+pub mod exp_gossip;
 pub mod exp_kselect;
 pub mod exp_overlay;
 pub mod exp_seap;
@@ -90,6 +91,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e15", exp_skeap::e15_discipline_ablation),
         ("e16", exp_faults::e16_fault_recovery),
         ("e17", exp_skeap::e17_scale),
+        ("e18", exp_gossip::e18_membership),
         ("f1", exp_skeap::f1_figure1),
         ("f2", exp_overlay::f2_figure2),
         ("b1", exp_baselines::b1_central_congestion),

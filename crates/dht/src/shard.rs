@@ -107,11 +107,62 @@ impl DhtShard {
         out
     }
 
+    /// Drain the parked-Get registrations — the other half of a handover.
+    /// A leaving node's waiters must move with its key range, or a Get that
+    /// parked before the splice waits forever at a node that no longer
+    /// manages the key. Returns `(logical key, getter, request id)` triples
+    /// in key order.
+    pub fn drain_parked(&mut self) -> Vec<(u64, NodeId, u64)> {
+        std::mem::take(&mut self.parked)
+    }
+
     /// Re-ingest handed-over pairs (join/leave path).
     pub fn ingest(&mut self, pairs: impl IntoIterator<Item = (u64, Element)>) {
         for (k, e) in pairs {
             self.store.insert(run_end(&self.store, k, |e| e.0), (k, e));
         }
+    }
+
+    /// Re-park a handed-over Get registration at this node. If the element
+    /// is already here — the racing Put landed at the new owner before the
+    /// old owner's parked-Get transfer did — the Get resolves immediately
+    /// and the response to send is returned.
+    pub fn ingest_parked(
+        &mut self,
+        logical: u64,
+        getter: NodeId,
+        id: u64,
+    ) -> Option<(NodeId, DhtResp)> {
+        let at = run_start(&self.store, logical, |e| e.0);
+        if self.store.get(at).is_some_and(|e| e.0 == logical) {
+            let (_, elem) = self.store.remove(at);
+            Some((getter, DhtResp::GetOk { id, elem }))
+        } else {
+            self.parked.insert(
+                run_end(&self.parked, logical, |e| e.0),
+                (logical, getter, id),
+            );
+            None
+        }
+    }
+
+    /// Remove and return every stored `(key, element)` pair matching the
+    /// predicate, in key order — the selective handover a rebalance performs
+    /// when only part of a node's range moved to a new owner.
+    pub fn extract_pairs(
+        &mut self,
+        mut pred: impl FnMut(u64, &Element) -> bool,
+    ) -> Vec<(u64, Element)> {
+        let mut out = Vec::new();
+        self.store.retain(|&(k, e)| {
+            if pred(k, &e) {
+                out.push((k, e));
+                false
+            } else {
+                true
+            }
+        });
+        out
     }
 
     /// Remove and return every stored element matching the predicate, in
@@ -289,6 +340,70 @@ mod tests {
         let mut b = DhtShard::new();
         b.ingest(pairs);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn parked_transfer_resolves_in_either_order() {
+        // Put-then-parked-transfer: the racing Put is already at the new
+        // owner when the old owner's parked Get arrives.
+        let mut nu = DhtShard::new();
+        nu.handle(DhtReq::Put {
+            logical: 3,
+            elem: elem(7),
+            reply_to: NodeId(9),
+            id: 70,
+        });
+        let resolved = nu.ingest_parked(3, NodeId(4), 41);
+        assert!(
+            matches!(resolved, Some((NodeId(4), DhtResp::GetOk { id: 41, elem: e })) if e == elem(7))
+        );
+        assert!(nu.is_empty() && nu.parked_count() == 0);
+        // Parked-transfer-then-Put: the registration waits at the new owner
+        // and the Put serves it.
+        let mut nu = DhtShard::new();
+        assert!(nu.ingest_parked(3, NodeId(4), 41).is_none());
+        assert_eq!(nu.parked_count(), 1);
+        let out = nu.handle(DhtReq::Put {
+            logical: 3,
+            elem: elem(7),
+            reply_to: NodeId(9),
+            id: 70,
+        });
+        assert!(matches!(out[1], (NodeId(4), DhtResp::GetOk { id: 41, .. })));
+    }
+
+    #[test]
+    fn drain_parked_moves_waiters() {
+        let mut old = DhtShard::new();
+        old.handle(DhtReq::Get {
+            logical: 5,
+            reply_to: NodeId(2),
+            id: 20,
+        });
+        old.handle(DhtReq::Get {
+            logical: 9,
+            reply_to: NodeId(3),
+            id: 30,
+        });
+        let waiters = old.drain_parked();
+        assert_eq!(waiters, vec![(5, NodeId(2), 20), (9, NodeId(3), 30)]);
+        assert_eq!(old.parked_count(), 0);
+    }
+
+    #[test]
+    fn extract_pairs_keeps_keys() {
+        let mut s = DhtShard::new();
+        for i in 0..4 {
+            s.handle(DhtReq::Put {
+                logical: 10 + i,
+                elem: elem(i),
+                reply_to: NodeId(0),
+                id: i,
+            });
+        }
+        let moved = s.extract_pairs(|k, _| k >= 12);
+        assert_eq!(moved, vec![(12, elem(2)), (13, elem(3))]);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

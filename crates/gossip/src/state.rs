@@ -1,0 +1,533 @@
+//! Versioned per-node key-value state with anti-entropy reconciliation.
+//!
+//! Every node publishes a small key→value map about *itself*; gossip
+//! replicates everyone's map everywhere. Each write bumps a per-node version
+//! counter, so "what does peer B know about node X that I don't" compresses
+//! to a single integer comparison: B's `max_version` for X against mine. A
+//! digest is a list of `(node, incarnation, max_version)` triples; a delta
+//! carries only entries whose version exceeds the digest's watermark —
+//! per-node max-version compaction, scuttlebutt-style.
+//!
+//! Incarnations order *lifetimes*: a node that rejoins after being declared
+//! dead bumps its incarnation, which outranks every version of the previous
+//! life and voids eviction tombstones held against it.
+
+use dpq_core::bitsize::tag_bits;
+use dpq_core::{vlq_bits, BitSize, NodeId};
+
+/// Well-known key: the heartbeat counter a node bumps every gossip round.
+/// Version progress on this key is the liveness signal the failure detector
+/// consumes.
+pub const K_HEARTBEAT: u64 = 0;
+
+/// One digest line: "for `node`'s life `incarnation` I have seen every write
+/// up to `max_version`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The node the line describes.
+    pub node: NodeId,
+    /// That node's lifetime counter as known to the digest's sender.
+    pub incarnation: u64,
+    /// Highest entry version seen for that lifetime.
+    pub max_version: u64,
+}
+
+impl BitSize for DigestEntry {
+    fn bits(&self) -> u64 {
+        self.node.bits() + vlq_bits(self.incarnation) + vlq_bits(self.max_version)
+    }
+}
+
+/// The writes one delta carries for one node: everything the recipient's
+/// digest proved it was missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDelta {
+    /// The node whose state the entries describe.
+    pub node: NodeId,
+    /// The lifetime the entries belong to.
+    pub incarnation: u64,
+    /// `(key, value, version)` triples, version-ascending.
+    pub entries: Vec<(u64, u64, u64)>,
+}
+
+impl BitSize for NodeDelta {
+    fn bits(&self) -> u64 {
+        self.node.bits() + vlq_bits(self.incarnation) + self.entries.bits()
+    }
+}
+
+/// What applying one [`NodeDelta`] changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The node was previously unknown (first discovery).
+    pub discovered: bool,
+    /// The node's `(incarnation, max_version)` advanced — a fresh sign of
+    /// life the failure detector should observe.
+    pub advanced: bool,
+    /// The delta carried a *higher incarnation* than a local eviction
+    /// tombstone — the node rejoined after being declared dead.
+    pub rejoined: bool,
+    /// Entries actually merged (stale ones are dropped silently).
+    pub applied: u64,
+}
+
+/// Everything one node knows about one (other) node.
+///
+/// The heartbeat key is stored inline — it is the one key every record has
+/// and the one the detector reads on every merge — so a record with no other
+/// keys costs no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct NodeRecord {
+    incarnation: u64,
+    hb_value: u64,
+    hb_version: u64,
+    /// Non-heartbeat keys, sorted by key: `(key, value, version)`.
+    extra: Vec<(u64, u64, u64)>,
+    max_version: u64,
+}
+
+impl NodeRecord {
+    fn newer_than(&self, floor: u64, out: &mut Vec<(u64, u64, u64)>, budget: usize) {
+        if self.hb_version > floor && out.len() < budget {
+            out.push((K_HEARTBEAT, self.hb_value, self.hb_version));
+        }
+        for &(k, v, ver) in &self.extra {
+            if ver > floor && out.len() < budget {
+                out.push((k, v, ver));
+            }
+        }
+    }
+
+    fn merge(&mut self, key: u64, value: u64, version: u64) -> bool {
+        if key == K_HEARTBEAT {
+            if version > self.hb_version {
+                self.hb_value = value;
+                self.hb_version = version;
+                self.max_version = self.max_version.max(version);
+                return true;
+            }
+            return false;
+        }
+        match self.extra.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => {
+                if version > self.extra[i].2 {
+                    self.extra[i] = (key, value, version);
+                    self.max_version = self.max_version.max(version);
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(i) => {
+                self.extra.insert(i, (key, value, version));
+                self.max_version = self.max_version.max(version);
+                true
+            }
+        }
+    }
+}
+
+/// One node's replicated view of the whole membership's KV state.
+#[derive(Debug, Clone)]
+pub struct GossipState {
+    me: NodeId,
+    /// Sorted by node id.
+    nodes: Vec<(NodeId, NodeRecord)>,
+}
+
+impl GossipState {
+    /// A fresh view knowing only `me` (incarnation 0, no writes yet).
+    pub fn new(me: NodeId) -> Self {
+        GossipState {
+            me,
+            nodes: vec![(me, NodeRecord::default())],
+        }
+    }
+
+    /// The owning node.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes this view has state for (including `me`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only `me` is known.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn idx(&self, node: NodeId) -> Option<usize> {
+        self.nodes.binary_search_by_key(&node, |e| e.0).ok()
+    }
+
+    /// Is `node` present in the view?
+    pub fn knows(&self, node: NodeId) -> bool {
+        self.idx(node).is_some()
+    }
+
+    /// Node ids in the view, ascending.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().map(|e| e.0)
+    }
+
+    /// The id at sorted position `i` — the rotation cursor of the digest
+    /// window walks these positions.
+    pub fn node_at(&self, i: usize) -> NodeId {
+        self.nodes[i].0
+    }
+
+    /// Write a key on **my own** record, bumping my version.
+    pub fn set(&mut self, key: u64, value: u64) {
+        let i = self.idx(self.me).expect("own record always present");
+        let rec = &mut self.nodes[i].1;
+        let ver = rec.max_version + 1;
+        rec.merge(key, value, ver);
+    }
+
+    /// Read `key` from `node`'s record.
+    pub fn get(&self, node: NodeId, key: u64) -> Option<u64> {
+        let rec = &self.nodes[self.idx(node)?].1;
+        if key == K_HEARTBEAT {
+            (rec.hb_version > 0).then_some(rec.hb_value)
+        } else {
+            rec.extra
+                .binary_search_by_key(&key, |e| e.0)
+                .ok()
+                .map(|i| rec.extra[i].1)
+        }
+    }
+
+    /// `(incarnation, max_version)` for `node` — the freshness watermark.
+    pub fn freshness(&self, node: NodeId) -> Option<(u64, u64)> {
+        self.idx(node)
+            .map(|i| (self.nodes[i].1.incarnation, self.nodes[i].1.max_version))
+    }
+
+    /// Start a new lifetime for **my own** record: incarnation + 1, versions
+    /// restart. Rejoin after eviction calls this; the higher incarnation
+    /// outranks tombstones everywhere.
+    pub fn bump_incarnation(&mut self) {
+        let i = self.idx(self.me).expect("own record always present");
+        let rec = &mut self.nodes[i].1;
+        let inc = rec.incarnation + 1;
+        let hb = rec.hb_value;
+        *rec = NodeRecord {
+            incarnation: inc,
+            ..NodeRecord::default()
+        };
+        // Re-publish the heartbeat immediately so the new life is visible.
+        rec.merge(K_HEARTBEAT, hb + 1, 1);
+    }
+
+    /// My digest line for `node` (`None` if unknown).
+    pub fn digest_entry(&self, node: NodeId) -> Option<DigestEntry> {
+        self.idx(node).map(|i| DigestEntry {
+            node,
+            incarnation: self.nodes[i].1.incarnation,
+            max_version: self.nodes[i].1.max_version,
+        })
+    }
+
+    /// Everything I know that the digest's sender provably lacks, capped at
+    /// `budget` entries total. `skip` filters nodes I refuse to gossip about
+    /// (eviction tombstones).
+    pub fn delta_for(
+        &self,
+        digest: &[DigestEntry],
+        budget: usize,
+        mut skip: impl FnMut(NodeId) -> bool,
+    ) -> Vec<NodeDelta> {
+        let mut out = Vec::new();
+        let mut spent = 0usize;
+        for d in digest {
+            if spent >= budget || skip(d.node) {
+                continue;
+            }
+            let Some(i) = self.idx(d.node) else { continue };
+            let rec = &self.nodes[i].1;
+            let floor = match rec.incarnation.cmp(&d.incarnation) {
+                std::cmp::Ordering::Greater => 0, // new life: send everything
+                std::cmp::Ordering::Equal if rec.max_version > d.max_version => d.max_version,
+                _ => continue,
+            };
+            let mut entries = Vec::new();
+            rec.newer_than(floor, &mut entries, budget - spent);
+            if !entries.is_empty() {
+                spent += entries.len();
+                out.push(NodeDelta {
+                    node: d.node,
+                    incarnation: rec.incarnation,
+                    entries,
+                });
+            }
+        }
+        out
+    }
+
+    /// The digest lines where the *sender* knows more than I do — what I
+    /// should ask it for. Unknown nodes come back as `(inc, 0)` watermarks.
+    /// `skip` suppresses asking about nodes I hold a tombstone for **at or
+    /// above** the advertised incarnation.
+    pub fn wants(
+        &self,
+        digest: &[DigestEntry],
+        mut skip: impl FnMut(NodeId, u64) -> bool,
+    ) -> Vec<DigestEntry> {
+        let mut out = Vec::new();
+        for d in digest {
+            if skip(d.node, d.incarnation) {
+                continue;
+            }
+            let mine = self.freshness(d.node).unwrap_or((0, 0));
+            let theirs = (d.incarnation, d.max_version);
+            let unknown = self.idx(d.node).is_none();
+            if unknown || theirs > mine {
+                out.push(DigestEntry {
+                    node: d.node,
+                    incarnation: if unknown { 0 } else { mine.0 },
+                    max_version: if unknown { 0 } else { mine.1 },
+                });
+            }
+        }
+        out
+    }
+
+    /// Merge one node's delta. Stale incarnations are rejected wholesale;
+    /// within the current incarnation, per-key versions decide.
+    pub fn apply(&mut self, nd: &NodeDelta) -> ApplyOutcome {
+        let mut out = ApplyOutcome::default();
+        let i = match self.nodes.binary_search_by_key(&nd.node, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                if nd.node == self.me {
+                    return out; // never let peers rewrite my own record
+                }
+                self.nodes.insert(i, (nd.node, NodeRecord::default()));
+                out.discovered = true;
+                i
+            }
+        };
+        if nd.node == self.me {
+            // Gossip echoes of my own state can never outrank my local
+            // writes within my current life; a *higher* incarnation echo
+            // would mean a split-brain duplicate id — reject it too.
+            return out;
+        }
+        let rec = &mut self.nodes[i].1;
+        let before = (rec.incarnation, rec.max_version);
+        if nd.incarnation < rec.incarnation {
+            return out;
+        }
+        if nd.incarnation > rec.incarnation {
+            *rec = NodeRecord {
+                incarnation: nd.incarnation,
+                ..NodeRecord::default()
+            };
+        }
+        for &(k, v, ver) in &nd.entries {
+            if rec.merge(k, v, ver) {
+                out.applied += 1;
+            }
+        }
+        out.advanced = (rec.incarnation, rec.max_version) > before;
+        out
+    }
+
+    /// Drop `node`'s record entirely (eviction executes this; a tombstone in
+    /// the caller stops it from flowing back in).
+    pub fn forget(&mut self, node: NodeId) {
+        if node == self.me {
+            return;
+        }
+        if let Some(i) = self.idx(node) {
+            self.nodes.remove(i);
+        }
+    }
+}
+
+impl dpq_core::StateHash for GossipState {
+    fn state_hash(&self, h: &mut dpq_core::StateHasher) {
+        h.write_u64(self.me.0);
+        h.write_u64(self.nodes.len() as u64);
+        for (id, rec) in &self.nodes {
+            h.write_u64(id.0);
+            h.write_u64(rec.incarnation);
+            h.write_u64(rec.hb_value);
+            h.write_u64(rec.hb_version);
+            h.write_u64(rec.max_version);
+            for &(k, v, ver) in &rec.extra {
+                h.write_u64(k);
+                h.write_u64(v);
+                h.write_u64(ver);
+            }
+        }
+    }
+}
+
+/// Tag cost helper shared by the message enum.
+pub(crate) fn gossip_tag_bits() -> u64 {
+    tag_bits(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_of(s: &GossipState, nodes: &[u64]) -> Vec<DigestEntry> {
+        nodes
+            .iter()
+            .filter_map(|&n| s.digest_entry(NodeId(n)))
+            .collect()
+    }
+
+    #[test]
+    fn set_bumps_versions_monotonically() {
+        let mut s = GossipState::new(NodeId(1));
+        s.set(K_HEARTBEAT, 10);
+        s.set(K_HEARTBEAT, 11);
+        s.set(7, 99);
+        assert_eq!(s.get(NodeId(1), K_HEARTBEAT), Some(11));
+        assert_eq!(s.get(NodeId(1), 7), Some(99));
+        assert_eq!(s.freshness(NodeId(1)), Some((0, 3)));
+    }
+
+    #[test]
+    fn delta_carries_only_missing_entries() {
+        let mut a = GossipState::new(NodeId(0));
+        a.set(K_HEARTBEAT, 1);
+        a.set(5, 50);
+        let mut b = GossipState::new(NodeId(1));
+        // b asks with a zero watermark for node 0.
+        let want = vec![DigestEntry {
+            node: NodeId(0),
+            incarnation: 0,
+            max_version: 0,
+        }];
+        let delta = a.delta_for(&want, 64, |_| false);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].entries.len(), 2);
+        for nd in &delta {
+            b.apply(nd);
+        }
+        assert_eq!(b.get(NodeId(0), 5), Some(50));
+        // Now b is caught up: same digest produces an empty delta.
+        let caught_up = digest_of(&b, &[0]);
+        assert!(a.delta_for(&caught_up, 64, |_| false).is_empty());
+    }
+
+    #[test]
+    fn apply_reports_advancement_and_discovery() {
+        let mut a = GossipState::new(NodeId(0));
+        a.set(K_HEARTBEAT, 1);
+        let delta = a.delta_for(
+            &[DigestEntry {
+                node: NodeId(0),
+                incarnation: 0,
+                max_version: 0,
+            }],
+            64,
+            |_| false,
+        );
+        let mut b = GossipState::new(NodeId(1));
+        let out = b.apply(&delta[0]);
+        assert!(out.discovered && out.advanced);
+        assert_eq!(out.applied, 1);
+        // Replaying the same delta is a no-op.
+        let again = b.apply(&delta[0]);
+        assert!(!again.discovered && !again.advanced);
+        assert_eq!(again.applied, 0);
+    }
+
+    #[test]
+    fn higher_incarnation_resets_the_record() {
+        let mut a = GossipState::new(NodeId(0));
+        a.set(K_HEARTBEAT, 1);
+        a.set(9, 90);
+        let mut b = GossipState::new(NodeId(1));
+        for nd in a.delta_for(
+            &[DigestEntry {
+                node: NodeId(0),
+                incarnation: 0,
+                max_version: 0,
+            }],
+            64,
+            |_| false,
+        ) {
+            b.apply(&nd);
+        }
+        assert_eq!(b.get(NodeId(0), 9), Some(90));
+        a.bump_incarnation();
+        let nd = NodeDelta {
+            node: NodeId(0),
+            incarnation: 1,
+            entries: vec![(K_HEARTBEAT, 2, 1)],
+        };
+        let out = b.apply(&nd);
+        assert!(out.advanced);
+        // The old life's keys are gone.
+        assert_eq!(b.get(NodeId(0), 9), None);
+        assert_eq!(b.freshness(NodeId(0)), Some((1, 1)));
+        // Stale writes from the old incarnation are rejected wholesale.
+        let stale = NodeDelta {
+            node: NodeId(0),
+            incarnation: 0,
+            entries: vec![(9, 91, 50)],
+        };
+        let res = b.apply(&stale);
+        assert_eq!(res.applied, 0);
+        assert_eq!(b.get(NodeId(0), 9), None);
+    }
+
+    #[test]
+    fn wants_flags_unknown_and_stale_nodes() {
+        let mut a = GossipState::new(NodeId(0));
+        a.set(K_HEARTBEAT, 1);
+        let b = GossipState::new(NodeId(1));
+        let digest = digest_of(&a, &[0]);
+        let wants = b.wants(&digest, |_, _| false);
+        assert_eq!(wants.len(), 1);
+        assert_eq!(wants[0].max_version, 0);
+        // A tombstone suppresses the want.
+        let none = b.wants(&digest, |n, inc| n == NodeId(0) && inc == 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn own_record_resists_echoes() {
+        let mut a = GossipState::new(NodeId(0));
+        a.set(K_HEARTBEAT, 5);
+        let echo = NodeDelta {
+            node: NodeId(0),
+            incarnation: 0,
+            entries: vec![(K_HEARTBEAT, 999, 40)],
+        };
+        a.apply(&echo);
+        assert_eq!(a.get(NodeId(0), K_HEARTBEAT), Some(5));
+    }
+
+    #[test]
+    fn forget_removes_and_budget_caps() {
+        let mut a = GossipState::new(NodeId(0));
+        for k in 1..10 {
+            a.set(k, k);
+        }
+        let d = a.delta_for(
+            &[DigestEntry {
+                node: NodeId(0),
+                incarnation: 0,
+                max_version: 0,
+            }],
+            4,
+            |_| false,
+        );
+        assert_eq!(d[0].entries.len(), 4);
+        let mut b = GossipState::new(NodeId(1));
+        b.apply(&d[0]);
+        assert!(b.knows(NodeId(0)));
+        b.forget(NodeId(0));
+        assert!(!b.knows(NodeId(0)));
+    }
+}

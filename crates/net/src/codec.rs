@@ -11,6 +11,7 @@ use crate::wire::{put_bool, put_f64, put_varint, Reader, Wire, WireError};
 use dpq_agg::{Interval, Segments};
 use dpq_core::{ElemId, Element, Key, NodeId, OpId, OpKind, OpRecord, OpReturn, Priority};
 use dpq_dht::{DhtReq, DhtResp};
+use dpq_gossip::{DigestEntry, GossipMsg, NodeDelta};
 use dpq_overlay::routing::{HopMsg, RouteMsg};
 use dpq_overlay::{VirtId, VirtKind};
 use dpq_sim::ReliableMsg;
@@ -779,6 +780,74 @@ impl Wire for SeapMsg {
             9 => Ok(SeapMsg::Resp(DhtResp::decode(r)?)),
             tag => Err(WireError::BadTag {
                 what: "SeapMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for DigestEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        put_varint(out, self.incarnation);
+        put_varint(out, self.max_version);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DigestEntry {
+            node: NodeId::decode(r)?,
+            incarnation: r.varint()?,
+            max_version: r.varint()?,
+        })
+    }
+}
+
+impl Wire for NodeDelta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        put_varint(out, self.incarnation);
+        self.entries.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeDelta {
+            node: NodeId::decode(r)?,
+            incarnation: r.varint()?,
+            entries: Vec::<(u64, u64, u64)>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for GossipMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GossipMsg::Syn { window } => {
+                out.push(0);
+                window.encode(out);
+            }
+            GossipMsg::SynAck { delta, want } => {
+                out.push(1);
+                delta.encode(out);
+                want.encode(out);
+            }
+            GossipMsg::Ack { delta } => {
+                out.push(2);
+                delta.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(GossipMsg::Syn {
+                window: Vec::<DigestEntry>::decode(r)?,
+            }),
+            1 => Ok(GossipMsg::SynAck {
+                delta: Vec::<NodeDelta>::decode(r)?,
+                want: Vec::<DigestEntry>::decode(r)?,
+            }),
+            2 => Ok(GossipMsg::Ack {
+                delta: Vec::<NodeDelta>::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "GossipMsg",
                 tag,
             }),
         }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod backoff;
 pub mod codec;
 pub mod config;
 pub mod ctl;
@@ -41,7 +42,8 @@ pub mod wal;
 pub mod wire;
 
 pub use app::NetApp;
-pub use config::{cluster_fingerprint, NodeConfig};
+pub use backoff::Backoff;
+pub use config::{cluster_fingerprint, gossip_fingerprint, NodeConfig};
 pub use ctl::{CtlClient, CtlReq, CtlResp, StatusInfo};
 pub use frame::{ProtoId, MAX_FRAME, WIRE_VERSION};
 pub use runtime::{Event, NodeRuntime};

@@ -18,6 +18,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use crate::backoff::Backoff;
 use crate::frame::{
     read_frame, read_hello, write_frame, write_hello, Hello, ProtoId, WIRE_VERSION,
 };
@@ -39,6 +40,8 @@ struct PeerCounters {
     tx_bytes: AtomicU64,
     reconnects: AtomicU64,
     send_drops: AtomicU64,
+    /// Peer retired by the failure detector: sends drop, the writer parks.
+    retired: AtomicBool,
 }
 
 struct Shared {
@@ -109,11 +112,42 @@ impl PeerManager {
         let Some(sender) = self.senders.get(&dst) else {
             return;
         };
+        if let Some(c) = self.shared.tx.get(&dst) {
+            if c.retired.load(Ordering::Relaxed) {
+                c.send_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         if sender.try_send(frame).is_err() {
             if let Some(c) = self.shared.tx.get(&dst) {
                 c.send_drops.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Retire `dst`: the failure detector has confirmed it dead, so stop
+    /// dialing (the writer thread parks instead of hammering a dead address
+    /// with reconnects) and drop anything queued for it. Idempotent.
+    pub fn retire(&self, dst: u64) {
+        if let Some(c) = self.shared.tx.get(&dst) {
+            c.retired.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Un-retire `dst`: the detector saw it return (higher incarnation),
+    /// so resume dialing. Idempotent.
+    pub fn revive(&self, dst: u64) {
+        if let Some(c) = self.shared.tx.get(&dst) {
+            c.retired.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Is `dst` currently retired?
+    pub fn is_retired(&self, dst: u64) -> bool {
+        self.shared
+            .tx
+            .get(&dst)
+            .is_some_and(|c| c.retired.load(Ordering::SeqCst))
     }
 
     /// Snapshot the per-peer counters (ack-RTT histograms are recorded by
@@ -150,33 +184,42 @@ fn writer_loop(
     rx: mpsc::Receiver<Vec<u8>>,
 ) {
     let mut connected_before = false;
-    let mut backoff = BACKOFF_MIN;
+    // Seeded by the ordered pair so every dialer draws its own schedule —
+    // peers that observed the same crash do not stampede the restart.
+    let mut backoff = Backoff::new(
+        BACKOFF_MIN,
+        BACKOFF_MAX,
+        hello.sender.wrapping_mul(0x9E37_79B9).wrapping_add(peer),
+    );
     'reconnect: while !shared.shutdown.load(Ordering::SeqCst) {
+        // A retired peer is not dialed at all: park (draining the queue so
+        // the runtime can never block) until the detector revives it.
+        if shared
+            .tx
+            .get(&peer)
+            .is_some_and(|c| c.retired.load(Ordering::SeqCst))
+        {
+            drain_queue(&rx, &shared, peer);
+            thread::sleep(BACKOFF_MAX);
+            backoff.reset();
+            continue;
+        }
         let mut conn = match Conn::connect(&addr) {
             Ok(c) => c,
             Err(_) => {
                 // Drain whatever queued while down so the runtime never
                 // blocks; count the drops.
-                let mut dropped = 0;
-                while rx.try_recv().is_ok() {
-                    dropped += 1;
-                }
-                if dropped > 0 {
-                    if let Some(c) = shared.tx.get(&peer) {
-                        c.send_drops.fetch_add(dropped, Ordering::Relaxed);
-                    }
-                }
-                thread::sleep(backoff);
-                backoff = (backoff * 2).min(BACKOFF_MAX);
+                drain_queue(&rx, &shared, peer);
+                thread::sleep(backoff.next_delay());
                 continue;
             }
         };
-        backoff = BACKOFF_MIN;
+        backoff.reset();
         if write_hello(&mut conn, &hello)
             .and_then(|_| conn.flush())
             .is_err()
         {
-            thread::sleep(backoff);
+            thread::sleep(backoff.next_delay());
             continue;
         }
         if connected_before {
@@ -211,6 +254,19 @@ fn writer_loop(
                 c.tx_frames.fetch_add(1, Ordering::Relaxed);
                 c.tx_bytes.fetch_add(len, Ordering::Relaxed);
             }
+        }
+    }
+}
+
+/// Drop (and count) everything queued for a peer that cannot take frames.
+fn drain_queue(rx: &mpsc::Receiver<Vec<u8>>, shared: &Shared, peer: u64) {
+    let mut dropped = 0;
+    while rx.try_recv().is_ok() {
+        dropped += 1;
+    }
+    if dropped > 0 {
+        if let Some(c) = shared.tx.get(&peer) {
+            c.send_drops.fetch_add(dropped, Ordering::Relaxed);
         }
     }
 }
@@ -347,6 +403,51 @@ mod tests {
             m.send(1, vec![i as u8]);
         }
         m.shutdown();
+    }
+
+    #[test]
+    fn retired_peers_drop_frames_until_revived() {
+        let a_addr = temp_sock("r1");
+        let b_addr = temp_sock("r2");
+        let (a_in, _a_rx) = mpsc::channel();
+        let (b_in, b_rx) = mpsc::channel();
+        let a = PeerManager::start(
+            0,
+            ProtoId::Skeap,
+            7,
+            &a_addr,
+            &BTreeMap::from([(1u64, b_addr.clone())]),
+            a_in,
+        )
+        .unwrap();
+        let _b = PeerManager::start(
+            1,
+            ProtoId::Skeap,
+            7,
+            &b_addr,
+            &BTreeMap::from([(0u64, a_addr.clone())]),
+            b_in,
+        )
+        .unwrap();
+        // Live first, so the link exists before the retire.
+        a.send(1, vec![1]);
+        b_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        a.retire(1);
+        assert!(a.is_retired(1));
+        let drops_before = a.wire_metrics().peer(1).unwrap().send_drops;
+        a.send(1, vec![2]);
+        a.send(1, vec![3]);
+        assert!(b_rx.recv_timeout(Duration::from_millis(300)).is_err());
+        let drops_after = a.wire_metrics().peer(1).unwrap().send_drops;
+        assert_eq!(drops_after, drops_before + 2);
+
+        a.revive(1);
+        assert!(!a.is_retired(1));
+        a.send(1, vec![4]);
+        let (_, payload) = b_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(payload, vec![4]);
+        a.shutdown();
     }
 
     #[test]

@@ -33,8 +33,17 @@ use crate::transport::Listener;
 use crate::wal::{CtlOpKind, Wal, WalEntry};
 use crate::wire::{from_bytes, to_bytes, RawBytes, Wire};
 use dpq_core::{NodeId, OpId};
+use dpq_gossip::{DetectorConfig, GossipConfig, GossipMsg, GossipNode};
 use dpq_sim::{Ctx, CtxEvent, Hub, LogHistogram, Protocol, Reliable, ReliableMsg};
 use dpq_telemetry::{prometheus_text, prometheus_wire_text};
+
+/// Frame lane tags, used only when the gossip sidecar is on: byte 0 of every
+/// peer frame says which state machine it belongs to. With gossip off the
+/// wire format is byte-identical to a sidecar-less build (and the cluster
+/// fingerprint differs, so mixed clusters refuse each other's hellos).
+const LANE_APP: u8 = 0;
+/// Membership lane (see [`LANE_APP`]).
+const LANE_GOSSIP: u8 = 1;
 
 /// One unit of work for the runtime's event loop.
 pub enum Event {
@@ -70,6 +79,14 @@ where
     op_issued: BTreeMap<OpId, u64>,
     op_latency: LogHistogram,
     rx_decode_errors: u64,
+    /// The membership sidecar (`--gossip`). Never WAL-logged: membership is
+    /// soft state a restarted node re-learns by gossiping, and replaying
+    /// stale heartbeats would only poison the detector.
+    gossip: Option<Box<GossipNode>>,
+    /// Peers the detector made us retire / later revive at the peer manager.
+    detector_retires: u64,
+    /// See [`Self::detector_retires`].
+    detector_revives: u64,
 }
 
 impl<P: NetApp> NodeRuntime<P>
@@ -130,6 +147,20 @@ where
             std::thread::spawn(move || serve_ctl(ctl_listener, fingerprint, events_tx));
         }
 
+        let gossip = cfg.gossip.then(|| {
+            let view: Vec<NodeId> = cfg.peers.keys().map(|&p| NodeId(p)).collect();
+            let gcfg = GossipConfig {
+                detector: DetectorConfig {
+                    threshold: cfg.phi,
+                    ..DetectorConfig::default()
+                },
+                evict_ticks: cfg.evict_ticks,
+                seed: cfg.seed ^ 0x60551,
+                ..GossipConfig::default()
+            };
+            Box::new(GossipNode::new(me, &view, gcfg))
+        });
+
         Ok(NodeRuntime {
             cfg,
             node,
@@ -143,6 +174,9 @@ where
             op_issued: BTreeMap::new(),
             op_latency: LogHistogram::new(),
             rx_decode_errors: 0,
+            gossip,
+            detector_retires: 0,
+            detector_revives: 0,
         })
     }
 
@@ -184,10 +218,77 @@ where
         let mut ctx = Ctx::new(NodeId(self.cfg.me), self.now);
         self.node.on_activate(&mut ctx);
         self.flush(ctx);
+        self.gossip_tick();
         Ok(())
     }
 
-    fn on_net(&mut self, from: u64, bytes: Vec<u8>) -> io::Result<()> {
+    /// One sidecar activation: heartbeat, detector lifecycle, Syn fanout —
+    /// then reconcile the detector's verdicts with the peer manager.
+    fn gossip_tick(&mut self) {
+        let Some(g) = self.gossip.as_mut() else {
+            return;
+        };
+        let mut ctx = Ctx::new(NodeId(self.cfg.me), self.now);
+        g.on_activate(&mut ctx);
+        for env in ctx.take_outbox() {
+            let mut bytes = vec![LANE_GOSSIP];
+            env.msg.encode(&mut bytes);
+            self.peers.send(env.dst.0, bytes);
+        }
+        for &peer in self.cfg.peers.keys() {
+            let dead = g.considers_dead(NodeId(peer));
+            if dead != self.peers.is_retired(peer) {
+                if dead {
+                    self.peers.retire(peer);
+                    self.detector_retires += 1;
+                } else {
+                    self.peers.revive(peer);
+                    self.detector_revives += 1;
+                }
+            }
+        }
+    }
+
+    /// A membership-lane frame: decode, deliver to the sidecar, flush its
+    /// replies. Never WAL-logged (soft state).
+    fn on_gossip_frame(&mut self, from: u64, payload: &[u8]) {
+        let Some(g) = self.gossip.as_mut() else {
+            return;
+        };
+        let msg: GossipMsg = match from_bytes(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.rx_decode_errors += 1;
+                return;
+            }
+        };
+        let mut ctx = Ctx::new(NodeId(self.cfg.me), self.now);
+        g.on_message(NodeId(from), msg, &mut ctx);
+        for env in ctx.take_outbox() {
+            let mut bytes = vec![LANE_GOSSIP];
+            env.msg.encode(&mut bytes);
+            self.peers.send(env.dst.0, bytes);
+        }
+    }
+
+    fn on_net(&mut self, from: u64, mut bytes: Vec<u8>) -> io::Result<()> {
+        if self.gossip.is_some() {
+            // Sidecar lanes: strip the tag so the WAL keeps storing plain
+            // app frames and replay stays format-compatible.
+            match bytes.first() {
+                Some(&LANE_APP) => {
+                    bytes.remove(0);
+                }
+                Some(&LANE_GOSSIP) => {
+                    self.on_gossip_frame(from, &bytes[1..]);
+                    return Ok(());
+                }
+                _ => {
+                    self.rx_decode_errors += 1;
+                    return Ok(());
+                }
+            }
+        }
         let msg: ReliableMsg<P::Msg> = match from_bytes(&bytes) {
             Ok(m) => m,
             Err(_) => {
@@ -222,7 +323,13 @@ where
             if let ReliableMsg::Data { seq, .. } = &env.msg {
                 self.rtt_pending.insert((env.dst.0, *seq), self.now);
             }
-            let bytes = to_bytes(&env.msg);
+            let bytes = if self.gossip.is_some() {
+                let mut b = vec![LANE_APP];
+                env.msg.encode(&mut b);
+                b
+            } else {
+                to_bytes(&env.msg)
+            };
             if env.dst.0 == self.cfg.me {
                 let _ = self.loopback.send(Event::Net(self.cfg.me, bytes));
             } else {
@@ -263,6 +370,13 @@ where
             hub.counter_add(id, self.rx_decode_errors);
             let op = hub.register_histogram("net.op_latency_ticks");
             hub.hist_merge(op, &self.op_latency);
+            if let Some(g) = &self.gossip {
+                g.export_telemetry(&mut hub);
+                let r = hub.register_counter("net.detector_retires");
+                hub.counter_add(r, self.detector_retires);
+                let v = hub.register_counter("net.detector_revives");
+                hub.counter_add(v, self.detector_revives);
+            }
         }
         let mut wire = self.peers.wire_metrics();
         for (&peer, hist) in &self.ack_rtt {

@@ -1,0 +1,93 @@
+//! Detector-driven eviction over real sockets: SIGKILL one daemon of a
+//! five-process cluster and let the *gossip sidecar* — not the harness —
+//! notice, confirm, and evict it. No scripted membership change anywhere:
+//! the only inputs are the kill signal and time.
+
+mod harness;
+
+use std::time::{Duration, Instant};
+
+use dpq_net::ctl::{CtlReq, CtlResp};
+use dpq_net::ProtoId;
+use harness::{balanced_scripts, drive_workload, Cluster, ClusterSpec};
+
+/// Pull one node's Prometheus metrics text.
+fn metrics(cluster: &Cluster, i: usize) -> String {
+    match cluster.client(i).request(&CtlReq::Metrics) {
+        Ok(CtlResp::Metrics(text)) => text,
+        other => panic!("metrics of node {i}: {other:?}"),
+    }
+}
+
+/// Read a plain counter/gauge sample (`name value`) from exposition text.
+fn sample(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        let (n, v) = l.split_once(' ')?;
+        (n == name).then(|| v.parse().ok())?
+    })
+}
+
+#[test]
+fn detector_evicts_a_killed_node_without_scripted_membership() {
+    let mut spec = ClusterSpec::new("gossip-kill", ProtoId::Skeap, 5, 0x90551);
+    spec.extra = vec![
+        "--gossip".into(),
+        "--phi".into(),
+        "12".into(),
+        "--evict-ticks".into(),
+        "64".into(),
+    ];
+    let mut cluster = Cluster::spawn(spec);
+
+    // The app lane works beside the membership lane: a small workload runs
+    // to completion with gossip frames interleaved on every link.
+    drive_workload(&cluster, &balanced_scripts(5, 4, 4, 9));
+    cluster.wait_all_complete(Duration::from_secs(60));
+
+    // Gossip is actually flowing before the kill.
+    for i in 0..5 {
+        let text = metrics(&cluster, i);
+        assert!(
+            sample(&text, "dpq_gossip_syn_tx").unwrap_or(0) > 0,
+            "node {i} never sent a Syn"
+        );
+    }
+
+    cluster.kill(4);
+
+    // Every survivor must confirm the death and run its eviction lifecycle
+    // — observable as the gossip eviction counter and the detector-driven
+    // retire at the peer manager. Nothing told them node 4 is gone.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let evicted = (0..4)
+            .filter(|&i| {
+                let text = metrics(&cluster, i);
+                sample(&text, "dpq_gossip_evictions").unwrap_or(0) >= 1
+                    && sample(&text, "dpq_net_detector_retires").unwrap_or(0) >= 1
+            })
+            .count();
+        if evicted == 4 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {evicted}/4 survivors evicted the killed node in time"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // No survivor was taken down with it: each still answers, kept its
+    // completed work, and its live view shrank (the killed peer is out; a
+    // scheduling-stall false positive could transiently shrink it further,
+    // so the bound is one-sided).
+    for i in 0..4 {
+        let s = cluster.status(i);
+        assert!(s.all_complete, "node {i} lost completed work");
+        let text = metrics(&cluster, i);
+        let view = sample(&text, "dpq_gossip_live_view").expect("live view gauge");
+        assert!(view <= 3, "node {i} still counts the killed peer as live");
+    }
+
+    cluster.shutdown();
+}

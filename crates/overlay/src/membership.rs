@@ -73,6 +73,29 @@ pub fn leave_last(topo: &Topology) -> (Topology, MembershipStats) {
     )
 }
 
+/// Remove the node at an **arbitrary index** — the eviction splice a failure
+/// detector triggers, where the departing node cannot be assumed to be the
+/// youngest. Callers renumber: node `k` of the returned topology is node
+/// `k` of the old one for `k < v` and node `k + 1` for `k >= v` (keep a
+/// members table alongside, as the churn-storm driver does). The evicted
+/// node gets no say — its managed segments fall to the cycle neighbours, and
+/// the element handover is exercised by `dpq-dht`/`dpq-gossip`.
+pub fn leave_at(topo: &Topology, v: NodeId) -> (Topology, MembershipStats) {
+    let mut middles = topo.middles().to_vec();
+    assert!(middles.len() >= 2, "cannot remove the last node");
+    assert!(v.index() < middles.len(), "no such node");
+    middles.remove(v.index());
+    let next = Topology::from_middles(middles);
+    debug_assert!(tree::validate(&next).is_ok());
+    (
+        next,
+        MembershipStats {
+            locate_hops: 0,
+            splice_links: 6,
+        },
+    )
+}
+
 /// The key segments (sub-intervals of [0,1)) a node's virtual nodes manage.
 /// A leaving node hands exactly these to the predecessors of its virtual
 /// nodes; a joiner takes them over from its successors.
@@ -120,6 +143,26 @@ mod tests {
         let (t2, _) = leave_last(&t);
         assert_eq!(t2.n(), 11);
         tree::validate(&t2).unwrap();
+    }
+
+    #[test]
+    fn leave_at_removes_interior_nodes() {
+        let t = Topology::new(12, 36);
+        let survivors: Vec<f64> = t
+            .middles()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 5)
+            .map(|(_, &m)| m)
+            .collect();
+        let (t2, stats) = leave_at(&t, NodeId(5));
+        assert_eq!(t2.n(), 11);
+        assert_eq!(t2.middles(), &survivors[..]);
+        assert_eq!(stats.splice_links, 6);
+        tree::validate(&t2).unwrap();
+        // Removing the last index degenerates to leave_last.
+        let (t3, _) = leave_at(&t, NodeId(11));
+        assert_eq!(t3.middles(), leave_last(&t).0.middles());
     }
 
     #[test]

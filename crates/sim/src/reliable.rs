@@ -635,6 +635,128 @@ mod tests {
         );
     }
 
+    /// Partition-heal, isolated to the ack algebra: a long partition builds
+    /// a deep retransmit backlog (every frame resent many times, no ack ever
+    /// back), and then the FIRST ack to cross the healed link — carrying the
+    /// receiver's cumulative watermark — releases the entire backlog at
+    /// once. No per-seq ack replay, no second round trip.
+    #[test]
+    fn one_cumulative_ack_after_heal_prunes_the_whole_backlog() {
+        const BACKLOG: u64 = 256;
+        let mut node = Reliable::new(Recorder::default(), 4);
+        let peer = NodeId(1);
+        // Even payloads → one buffered reply each; the "partition": acks
+        // simply never arrive.
+        let mut ctx = Ctx::new(NodeId(0), 0);
+        for seq in 0..BACKLOG {
+            node.on_message(peer, data(seq, 2 * seq), &mut ctx);
+        }
+        assert_eq!(node.unacked() as u64, BACKLOG);
+        // Many timeout cycles pass during the partition: the full backlog is
+        // retransmitted over and over but stays pinned.
+        for cycle in 1..=20u64 {
+            let mut ctx = Ctx::new(NodeId(0), cycle * 4);
+            node.on_activate(&mut ctx);
+        }
+        assert_eq!(node.stats.retransmits, 20 * BACKLOG);
+        assert_eq!(
+            node.unacked() as u64,
+            BACKLOG,
+            "backlog leaked mid-partition"
+        );
+        // Heal. The receiver had delivered everything before the cut (or
+        // catches up from the retransmit burst); its next ack — one message
+        // — carries cum past the whole backlog.
+        let mut ctx = Ctx::new(NodeId(0), 100);
+        node.on_message(
+            peer,
+            ReliableMsg::Ack {
+                seq: BACKLOG - 1,
+                cum: BACKLOG,
+            },
+            &mut ctx,
+        );
+        assert_eq!(node.unacked(), 0, "backlog survived the cumulative ack");
+        assert_eq!(node.resident_entries(), 0, "resident state not released");
+        assert!(node.done());
+        // And nothing is ever retransmitted again.
+        let mut ctx = Ctx::new(NodeId(0), 1000);
+        node.on_activate(&mut ctx);
+        assert!(ctx.take_outbox().is_empty());
+    }
+
+    /// The memory plateau holds ACROSS a partition-heal boundary: resident
+    /// state necessarily grows while the cut pins frames, but once healed it
+    /// must fall back to the rate × timeout plateau — the stream's history
+    /// (everything pushed before and during the cut) must leave no residue.
+    #[test]
+    fn per_link_memory_replateaus_after_partition_heal() {
+        const TOTAL: u64 = 10_000;
+        const RATE: u64 = 20;
+        const CUT: u64 = 60;
+        const HEAL: u64 = 160;
+        let nodes = (0..2).map(|me| Pump {
+            me,
+            total: TOTAL,
+            rate: RATE,
+            sent: 0,
+            got: 0,
+        });
+        let wrapped = Reliable::wrap_all(nodes, 8);
+        let plan = crate::faults::FaultPlan::uniform(0x43A1, 0.05, 0.0).with_partition(
+            CUT,
+            HEAL,
+            vec![NodeId(0)],
+        );
+        let mut s = crate::sched_sync::SyncScheduler::with_faults(wrapped, plan);
+        let resident = |s: &crate::sched_sync::SyncScheduler<Reliable<Pump>>| -> usize {
+            s.nodes().iter().map(Reliable::resident_entries).sum()
+        };
+        // Phase 1: the pre-cut plateau.
+        let mut pre_peak = 0;
+        for _ in 0..CUT {
+            s.step_round();
+            pre_peak = pre_peak.max(resident(&s));
+        }
+        // Phase 2: the cut. The sender keeps pushing; everything pins.
+        let mut cut_peak = 0;
+        for _ in CUT..HEAL {
+            s.step_round();
+            cut_peak = cut_peak.max(resident(&s));
+        }
+        assert!(
+            cut_peak > 2 * pre_peak,
+            "the partition never actually pinned frames \
+             (pre {pre_peak}, during {cut_peak})"
+        );
+        // Phase 3: heal. Allow one drain window (the pinned backlog flushes
+        // through retransmission), then the plateau must be back — for the
+        // whole remainder of the 10k-payload stream.
+        for _ in 0..64 {
+            s.step_round();
+        }
+        let mut post_peak = 0;
+        for _ in 0..20_000 {
+            if s.quiescent() {
+                break;
+            }
+            s.step_round();
+            post_peak = post_peak.max(resident(&s));
+        }
+        assert!(s.quiescent(), "stream never drained after heal");
+        assert_eq!(s.node(NodeId(1)).inner().got, TOTAL, "payloads lost");
+        assert_eq!(resident(&s), 0, "state not released at quiescence");
+        assert!(
+            post_peak <= (4 * pre_peak).max(64),
+            "plateau did not recover after heal: pre {pre_peak}, post {post_peak}"
+        );
+        assert!(
+            post_peak < cut_peak,
+            "post-heal peak ({post_peak}) should sit below the \
+             partition peak ({cut_peak})"
+        );
+    }
+
     #[test]
     fn sequence_numbers_are_per_link() {
         let mut node = Reliable::new(Recorder::default(), 8);

@@ -7,6 +7,7 @@
 #   ./scripts/check.sh mc        # the above, plus schedule-space model checking
 #   ./scripts/check.sh coverage  # the above, plus per-crate coverage floors
 #   ./scripts/check.sh net       # the above, plus the wire-conformance smoke
+#   ./scripts/check.sh churn     # the above, plus the bounded churn storm
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -115,6 +116,18 @@ if [ "$TIER" = "net" ]; then
     cargo test -q -p dpq-net --test wire_conformance smoke_three_process_uds
   cleanup_net
   trap - EXIT
+fi
+
+# Churn tier (opt-in: `./scripts/check.sh churn`): the bounded membership
+# storm from crates/gossip/tests/storm_release.rs — 256 nodes plus 128
+# spares, a crash or join every 5 rounds for 1200 scheduled rounds under
+# 5% drop, membership driven end to end by the phi-accrual detector, with
+# the element-conservation and placement oracles scanned continuously.
+# Release-only (about ten seconds in release, minutes in debug); the
+# full-scale n=2048 headline storm lives in the same file
+# (churn_storm_full_scale) and runs on demand.
+if [ "$TIER" = "churn" ]; then
+  cargo test --release -q -p dpq-gossip --test storm_release -- --ignored --exact churn_storm_bounded
 fi
 
 # Coverage tier (opt-in: `./scripts/check.sh coverage`): per-crate line

@@ -9,6 +9,7 @@ pub use dpq_agg as agg;
 pub use dpq_baselines as baselines;
 pub use dpq_core as core;
 pub use dpq_dht as dht;
+pub use dpq_gossip as gossip;
 pub use dpq_overlay as overlay;
 pub use dpq_semantics as semantics;
 pub use dpq_sim as sim;
