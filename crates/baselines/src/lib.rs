@@ -13,13 +13,22 @@
 //! * [`naive_kselect`] — gather-everything-to-the-root k-selection: the
 //!   strawman whose message sizes grow linearly with the candidate count,
 //!   against KSelect's O(log n) bits (experiment B2).
+//! * [`relaxed`] / [`klsm`] / [`multiqueue`] — *relaxed* priority queues
+//!   (bounded disorder instead of strict order), the shared-memory designs
+//!   Skeap/Seap are positioned against in E19's rank-error shootout.
 
 #![warn(missing_docs)]
 
 pub mod central;
+pub mod klsm;
+pub mod multiqueue;
 pub mod naive_kselect;
+pub mod relaxed;
 pub mod seq_heap;
 
 pub use central::{CentralMsg, CentralNode};
+pub use klsm::KLsm;
+pub use multiqueue::MultiQueue;
 pub use naive_kselect::NaiveSelectNode;
+pub use relaxed::RelaxedPq;
 pub use seq_heap::{FifoHeap, KeyHeap, LifoHeap, ReferenceHeap};

@@ -1,0 +1,35 @@
+//! The common face of the relaxed priority queues.
+//!
+//! Relaxed queues (k-LSM, MultiQueue — see PAPERS.md) weaken delete-min to
+//! "delete-*small*": the returned element may be overtaken by up to some
+//! bound (structural for k-LSM, probabilistic for MultiQueue) of smaller
+//! live elements. In exchange they avoid the global synchronisation strict
+//! queues pay for. Here they serve as *comparators*: E19 runs the same
+//! open-loop traces through Skeap/Seap and through these, and the
+//! rank-error oracle prices the difference.
+//!
+//! The shared-memory originals are lock-free thread structures; this
+//! workspace models them at the same granularity as everything else — a
+//! deterministic sequential structure with `p` *lanes* standing in for the
+//! threads/queues, driven by a seeded RNG where the original uses one.
+
+use dpq_core::{DetRng, Element};
+
+/// A relaxed min-queue with `p` access lanes.
+pub trait RelaxedPq {
+    /// Insert through lane `lane` (callers map node/thread → lane).
+    fn insert_from(&mut self, lane: usize, e: Element);
+    /// Delete a *small* (not necessarily minimum) element via lane `lane`.
+    /// `None` means the structure found nothing — which, for relaxed
+    /// designs, can happen spuriously while other lanes still hold
+    /// elements.
+    fn delete_min_from(&mut self, lane: usize, rng: &mut DetRng) -> Option<Element>;
+    /// Total elements currently held, across all lanes.
+    fn len(&self) -> usize;
+    /// Is the structure empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Number of access lanes.
+    fn lanes(&self) -> usize;
+}

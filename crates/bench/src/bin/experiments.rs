@@ -5,6 +5,7 @@
 //! cargo run -p dpq-bench --release --bin experiments -- e2 e5   # a subset
 //! cargo run -p dpq-bench --release --bin experiments -- e2 --trace /tmp/e2.json
 //! cargo run -p dpq-bench --release --bin experiments -- e16 --faults scripts/faults-smoke.toml
+//! cargo run -p dpq-bench --release --bin experiments -- e19 --workload scripts/workload-smoke.toml
 //! cargo run -p dpq-bench --release --bin experiments -- --jobs 8   # 8 sweep workers
 //! ```
 //!
@@ -14,7 +15,11 @@
 //! `chrome://tracing`; each run appears as its own process with per-round
 //! counters and phase-mark instants. With `--faults`, E16 replaces its
 //! standard 16-cell matrix with the fault plan parsed from the given TOML
-//! file (see [`dpq_sim::FaultPlan::from_toml`] for the dialect).
+//! file (see [`dpq_sim::FaultPlan::from_toml`] for the dialect). With
+//! `--workload`, E19 replaces its standard arrivals × mix grid with the
+//! open-loop spec parsed from the given TOML file (see
+//! [`dpq_workload::OpenLoopSpec::from_toml`]), still fanned across all four
+//! contenders.
 //!
 //! `--jobs N` shards every experiment's sweep cells across N worker threads
 //! (default: the machine's available parallelism). Cells are independent
@@ -79,6 +84,25 @@ fn main() {
                 Ok(plan) => opts.faults = Some(plan),
                 Err(e) => {
                     eprintln!("--faults: {p}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--workload" {
+            let Some(p) = args.next() else {
+                eprintln!("--workload requires a path to a spec TOML");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(&p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("--workload: cannot read {p}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match dpq_workload::OpenLoopSpec::from_toml(&text) {
+                Ok(spec) => opts.workload = Some(spec),
+                Err(e) => {
+                    eprintln!("--workload: {p}: {e}");
                     std::process::exit(2);
                 }
             }

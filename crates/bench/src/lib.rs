@@ -15,6 +15,7 @@ pub mod exp_kselect;
 pub mod exp_overlay;
 pub mod exp_seap;
 pub mod exp_skeap;
+pub mod exp_workload;
 pub mod memprobe;
 pub mod perf_probe;
 pub mod runner;
@@ -37,6 +38,11 @@ pub struct ExpOpts {
     /// the rest. Node references in the plan must stay below E16's cluster
     /// size (n = 8).
     pub faults: Option<dpq_sim::FaultPlan>,
+    /// A custom open-loop workload (`--workload <spec.toml>`,
+    /// [`dpq_workload::OpenLoopSpec::from_toml`]). Honoured by E19, which
+    /// then replaces its standard grid with the given spec, still fanned
+    /// across all four contenders; ignored by the rest.
+    pub workload: Option<dpq_workload::OpenLoopSpec>,
 }
 
 /// A named experiment entry.
@@ -92,6 +98,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e16", exp_faults::e16_fault_recovery),
         ("e17", exp_skeap::e17_scale),
         ("e18", exp_gossip::e18_membership),
+        ("e19", exp_workload::e19_workload),
         ("f1", exp_skeap::f1_figure1),
         ("f2", exp_overlay::f2_figure2),
         ("b1", exp_baselines::b1_central_congestion),

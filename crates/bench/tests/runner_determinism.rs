@@ -53,6 +53,48 @@ fn tables_are_byte_identical_for_any_job_count() {
     assert!(saw_metrics, "no experiment in the subset emitted telemetry");
 }
 
+/// Golden-trace pin for the open-loop workload engine: the same spec +
+/// seed must produce *byte-identical* schedules no matter how many sweep
+/// workers generate them, and the committed fingerprints must never move —
+/// any change to the sampler chain (alias table, arrival draws, client
+/// hashing, stream splits) is a wire-visible event that must be deliberate.
+#[test]
+fn workload_schedules_are_byte_identical_for_any_job_count() {
+    use dpq_workload::{ArrivalSpec, MixKind, OpenLoopSpec, Schedule};
+
+    let base = OpenLoopSpec::base();
+    let mut bursty = OpenLoopSpec::base();
+    bursty.arrivals = ArrivalSpec::Mmpp {
+        burst_mult: 8.0,
+        dwell_calm: 32.0,
+        dwell_burst: 8.0,
+    };
+    bursty.mix = MixKind::Zipf { s: 1.0 };
+    let specs = [base, bursty];
+
+    let baseline: Vec<Vec<u8>> = specs
+        .iter()
+        .map(|s| Schedule::generate(s).to_bytes())
+        .collect();
+    for jobs in [1usize, 2, 8] {
+        let got = runner::sweep_with_jobs(specs.len(), jobs, |i| {
+            Schedule::generate(&specs[i]).to_bytes()
+        });
+        assert_eq!(got, baseline, "schedule bytes diverge at --jobs {jobs}");
+    }
+
+    // Committed goldens (FNV-1a over the canonical byte encoding).
+    let fps: Vec<u64> = specs
+        .iter()
+        .map(|s| Schedule::generate(s).fingerprint())
+        .collect();
+    assert_eq!(fps[0], 0x9069_0701_E5F4_5CDA, "base spec schedule drifted");
+    assert_eq!(
+        fps[1], 0x61ED_67D4_5B70_FCC9,
+        "mmpp/zipf spec schedule drifted"
+    );
+}
+
 #[test]
 fn synthetic_sweep_is_order_stable_under_oversubscription() {
     // 64 cells, more workers than machine cores, wildly uneven cell costs:

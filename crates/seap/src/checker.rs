@@ -16,6 +16,20 @@ use dpq_semantics::{check_heap_properties, replay, ReplayMode, Violation};
 
 /// Check serializability + heap consistency of a completed Seap history.
 pub fn check_seap_history(history: &History) -> Result<(), Violation> {
+    let refined = refine_witnesses(history)?;
+    replay(&refined, ReplayMode::KeyOrder)?;
+    check_heap_properties(&refined).map_err(|e| Violation::BadMatching(e.to_string()))?;
+    Ok(())
+}
+
+/// Build the refined serial order SD of Lemma 5.2 as a history clone with
+/// dense witnesses 1..N: inserts keep their within-phase offsets, matched
+/// deletes sort by the key of the element they returned, ⊥ deletes come
+/// last in their phase. This *is* the serial execution Seap claims — the
+/// order downstream consumers (the replay checker, the rank-error oracle)
+/// must measure against, since Seap's raw witness offsets within a delete
+/// phase are position-interval assignments, not the service order itself.
+pub fn refine_witnesses(history: &History) -> Result<History, Violation> {
     // Collect (phase, sort-key, node, seq) for every completed op.
     let mut order: Vec<(u64, u64, dpq_core::Key, dpq_core::OpId)> = Vec::new();
     for r in history.records() {
@@ -62,9 +76,7 @@ pub fn check_seap_history(history: &History) -> Result<(), Violation> {
     for (i, (_, _, _, id)) in order.iter().enumerate() {
         refined.nodes[id.node.index()].ops[id.seq as usize].witness = Some(i as u64 + 1);
     }
-    replay(&refined, ReplayMode::KeyOrder)?;
-    check_heap_properties(&refined).map_err(|e| Violation::BadMatching(e.to_string()))?;
-    Ok(())
+    Ok(refined)
 }
 
 #[cfg(test)]

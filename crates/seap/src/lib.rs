@@ -25,6 +25,6 @@ pub mod cluster;
 pub mod msgs;
 pub mod node;
 
-pub use checker::check_seap_history;
+pub use checker::{check_seap_history, refine_witnesses};
 pub use msgs::SeapMsg;
 pub use node::{poskey, witness_phase, SeapConfig, SeapNode};

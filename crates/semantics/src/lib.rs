@@ -12,11 +12,17 @@
 //!   consistency.
 //! * **Heap consistency** (Definition 1.2) via [`heap_props`]: the three
 //!   properties checked literally against ≺ and the matching M.
+//! * **Rank error** via [`rank_error`]: not a pass/fail check but a
+//!   *measurement* — per-dequeue distance from the ideal strict heap, the
+//!   quality metric relaxed priority queues are graded on (PAPERS.md:
+//!   k-LSM benchmark, MultiQueue).
 
 #![warn(missing_docs)]
 
 pub mod heap_props;
+pub mod rank_error;
 pub mod replay;
 
 pub use heap_props::check_heap_properties;
+pub use rank_error::{rank_error, RankErrorSummary, RankOrder};
 pub use replay::{check_local_consistency, check_witnesses, replay, ReplayMode, Violation};

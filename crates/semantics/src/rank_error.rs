@@ -1,0 +1,341 @@
+//! Rank-error oracle: how far each dequeue strays from the ideal heap.
+//!
+//! Strict priority queues (Skeap, Seap) always return the global minimum;
+//! relaxed designs (k-LSM, MultiQueue) trade that guarantee for throughput
+//! and return *some small* element. The standard quality metric — from the
+//! k-LSM benchmark study (Gruber/Träff/Wimmer) and the MultiQueue analysis
+//! (Alistarh et al.), see PAPERS.md — is the **rank error**: at the moment
+//! a dequeue takes element `e`, the number of live elements strictly
+//! smaller than `e` in the ideal strict heap. A strict queue scores 0 on
+//! every dequeue; a relaxed queue's rank-error distribution *is* its
+//! disorder.
+//!
+//! The oracle replays a recorded [`History`] in witness order (for relaxed
+//! executions the witness is simply the global execution order the trace
+//! executor assigns), maintains the ideal heap as a Fenwick tree over
+//! rank-compressed element keys, and answers each dequeue's rank query in
+//! O(log n). Distributions go into the workspace's [`LogHistogram`], which
+//! is exact below 256 — and rank errors of interest live well below that.
+
+use crate::replay::Violation;
+use dpq_core::{ElemId, History, OpKind, OpRecord, OpReturn};
+use dpq_telemetry::LogHistogram;
+use std::collections::HashMap;
+
+/// Which ideal order the oracle ranks against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankOrder {
+    /// Skeap's discipline: priority, then insertion (witness) order.
+    Fifo,
+    /// Seap's discipline: the composite key (priority, ElemId).
+    KeyOrder,
+}
+
+/// Rank-error distribution of one history.
+#[derive(Debug, Clone)]
+pub struct RankErrorSummary {
+    /// Dequeues that returned an element.
+    pub deletes: u64,
+    /// Dequeues that returned ⊥ while live elements existed — an extreme
+    /// disorder event (every live element was overtaken); each contributes
+    /// its live count to the distribution.
+    pub spurious_empty: u64,
+    /// Largest rank error observed.
+    pub max: u64,
+    /// Mean rank error.
+    pub mean: f64,
+    /// 99th-percentile rank error.
+    pub p99: u64,
+    /// The full distribution.
+    pub hist: LogHistogram,
+}
+
+impl RankErrorSummary {
+    /// Did every dequeue return the exact minimum?
+    pub fn is_strict(&self) -> bool {
+        self.max == 0 && self.spurious_empty == 0
+    }
+}
+
+/// Fenwick (binary indexed) tree over element counts, 1-indexed.
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Compute the rank-error distribution of a history.
+///
+/// Requirements mirror [`crate::replay::replay`]: every op completed and
+/// witnessed (strict protocols emit real witnesses; relaxed trace executors
+/// assign execution order), and the matching must be structurally sound.
+/// Unlike `replay` this never fails on *reordering* — disorder is the
+/// measurement, not a violation.
+pub fn rank_error(history: &History, order: RankOrder) -> Result<RankErrorSummary, Violation> {
+    history
+        .matching()
+        .map_err(|e| Violation::BadMatching(e.to_string()))?;
+    let mut ops: Vec<OpRecord> = Vec::with_capacity(history.len());
+    for r in history.records() {
+        if r.ret.is_none() {
+            return Err(Violation::Incomplete(r.id));
+        }
+        if r.witness.is_none() {
+            return Err(Violation::MissingWitness(r.id));
+        }
+        ops.push(*r);
+    }
+    ops.sort_by_key(|r| r.witness.expect("checked"));
+
+    // Rank-compress the ideal-order keys of every inserted element. Both
+    // orders are total: FIFO keys (prio, witness) are unique because
+    // witnesses are, KeyOrder keys (prio, id) because ElemIds are.
+    let mut keys: Vec<(u64, u64, ElemId)> = ops
+        .iter()
+        .filter_map(|r| match r.kind {
+            OpKind::Insert(e) => Some(match order {
+                RankOrder::Fifo => (e.prio.0, r.witness.expect("checked"), e.id),
+                RankOrder::KeyOrder => (e.prio.0, e.id.0, e.id),
+            }),
+            OpKind::DeleteMin => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    let idx: HashMap<ElemId, usize> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, _, id))| (id, i))
+        .collect();
+
+    let mut fen = Fenwick::new(keys.len());
+    let mut live: i64 = 0;
+    let mut hist = LogHistogram::new();
+    let mut deletes = 0u64;
+    let mut spurious_empty = 0u64;
+    for r in &ops {
+        match (r.kind, r.ret.expect("checked")) {
+            (OpKind::Insert(e), _) => {
+                fen.add(idx[&e.id], 1);
+                live += 1;
+            }
+            (OpKind::DeleteMin, OpReturn::Removed(e)) => {
+                let i = idx[&e.id];
+                // Live elements strictly smaller than e in the ideal order.
+                let below = if i == 0 { 0 } else { fen.prefix(i - 1) };
+                hist.record(below as u64);
+                deletes += 1;
+                fen.add(i, -1);
+                live -= 1;
+            }
+            (OpKind::DeleteMin, OpReturn::Bottom) => {
+                if live > 0 {
+                    spurious_empty += 1;
+                    hist.record(live as u64);
+                }
+            }
+            (OpKind::DeleteMin, OpReturn::Inserted) => {
+                return Err(Violation::BadMatching(format!(
+                    "{}: DeleteMin returned Inserted",
+                    r.id
+                )))
+            }
+        }
+    }
+    Ok(RankErrorSummary {
+        deletes,
+        spurious_empty,
+        max: hist.max(),
+        mean: hist.mean(),
+        p99: hist.quantile(0.99),
+        hist,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpq_core::{Element, NodeId, Priority};
+
+    fn elem(seq: u64, prio: u64) -> Element {
+        Element::new(ElemId::compose(NodeId(0), seq), Priority(prio), 0)
+    }
+
+    /// Hand-build a single-node history: (kind, return) in witness order.
+    fn hist(entries: &[(OpKind, OpReturn)]) -> History {
+        let mut h = History::new(1);
+        let v = NodeId(0);
+        for (i, (kind, ret)) in entries.iter().enumerate() {
+            let id = h.node(v).issue(v, *kind);
+            h.node(v).complete(id, *ret);
+            h.node(v).witness(id, i as u64 + 1);
+        }
+        h
+    }
+
+    #[test]
+    fn strict_in_order_execution_scores_zero() {
+        let a = elem(0, 1);
+        let b = elem(1, 2);
+        let h = hist(&[
+            (OpKind::Insert(b), OpReturn::Inserted),
+            (OpKind::Insert(a), OpReturn::Inserted),
+            (OpKind::DeleteMin, OpReturn::Removed(a)),
+            (OpKind::DeleteMin, OpReturn::Removed(b)),
+            (OpKind::DeleteMin, OpReturn::Bottom),
+        ]);
+        for order in [RankOrder::Fifo, RankOrder::KeyOrder] {
+            let s = rank_error(&h, order).unwrap();
+            assert!(s.is_strict(), "{order:?}: {s:?}");
+            assert_eq!(s.deletes, 2);
+            assert_eq!(s.spurious_empty, 0);
+        }
+    }
+
+    #[test]
+    fn hand_computed_rank_distances() {
+        // Live = {p1, p3, p5, p7}; dequeue p5 with {p1, p3} below → rank 2,
+        // then p1 → rank 0, then p7 with {p3} live below → rank 1.
+        let e1 = elem(0, 1);
+        let e3 = elem(1, 3);
+        let e5 = elem(2, 5);
+        let e7 = elem(3, 7);
+        let h = hist(&[
+            (OpKind::Insert(e1), OpReturn::Inserted),
+            (OpKind::Insert(e3), OpReturn::Inserted),
+            (OpKind::Insert(e5), OpReturn::Inserted),
+            (OpKind::Insert(e7), OpReturn::Inserted),
+            (OpKind::DeleteMin, OpReturn::Removed(e5)),
+            (OpKind::DeleteMin, OpReturn::Removed(e1)),
+            (OpKind::DeleteMin, OpReturn::Removed(e7)),
+        ]);
+        let s = rank_error(&h, RankOrder::KeyOrder).unwrap();
+        assert_eq!(s.deletes, 3);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.hist.quantile(0.0), 0);
+        assert!((s.mean - 1.0).abs() < 1e-9, "mean {}", s.mean);
+        assert!(!s.is_strict());
+    }
+
+    #[test]
+    fn fifo_order_ranks_by_insertion_within_priority() {
+        // Same priority throughout: under FIFO the ideal order is insertion
+        // order, so taking the *second*-inserted first is rank 1 — while
+        // KeyOrder agrees here only because ids grow with insertion.
+        let a = elem(0, 4);
+        let b = elem(1, 4);
+        let h = hist(&[
+            (OpKind::Insert(a), OpReturn::Inserted),
+            (OpKind::Insert(b), OpReturn::Inserted),
+            (OpKind::DeleteMin, OpReturn::Removed(b)),
+            (OpKind::DeleteMin, OpReturn::Removed(a)),
+        ]);
+        let s = rank_error(&h, RankOrder::Fifo).unwrap();
+        assert_eq!(s.max, 1);
+        assert_eq!(s.deletes, 2);
+        // The second dequeue takes the true minimum: rank 0.
+        assert_eq!(s.hist.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn fifo_and_key_order_disagree_when_ids_invert() {
+        // Insert the *larger-id* element first. FIFO ranks it first (it
+        // arrived first); KeyOrder ranks the smaller id first. Dequeueing
+        // insertion-first is strict under FIFO, rank 1 under KeyOrder.
+        let small = elem(0, 4);
+        let large = elem(1, 4);
+        let h = hist(&[
+            (OpKind::Insert(large), OpReturn::Inserted),
+            (OpKind::Insert(small), OpReturn::Inserted),
+            (OpKind::DeleteMin, OpReturn::Removed(large)),
+            (OpKind::DeleteMin, OpReturn::Removed(small)),
+        ]);
+        assert!(rank_error(&h, RankOrder::Fifo).unwrap().is_strict());
+        let s = rank_error(&h, RankOrder::KeyOrder).unwrap();
+        assert_eq!(s.max, 1);
+    }
+
+    #[test]
+    fn spurious_bottom_counts_live_elements() {
+        let a = elem(0, 1);
+        let b = elem(1, 2);
+        let h = hist(&[
+            (OpKind::Insert(a), OpReturn::Inserted),
+            (OpKind::Insert(b), OpReturn::Inserted),
+            (OpKind::DeleteMin, OpReturn::Bottom),
+            (OpKind::DeleteMin, OpReturn::Removed(a)),
+        ]);
+        let s = rank_error(&h, RankOrder::KeyOrder).unwrap();
+        assert_eq!(s.spurious_empty, 1);
+        assert_eq!(s.max, 2, "a spurious ⊥ overtakes every live element");
+        assert_eq!(s.deletes, 1);
+    }
+
+    #[test]
+    fn true_bottom_is_free() {
+        let h = hist(&[(OpKind::DeleteMin, OpReturn::Bottom)]);
+        let s = rank_error(&h, RankOrder::Fifo).unwrap();
+        assert!(s.is_strict());
+        assert_eq!(s.deletes, 0);
+    }
+
+    #[test]
+    fn structural_breakage_is_still_an_error() {
+        // Same element removed twice: disorder measurement must not paper
+        // over a broken matching.
+        let a = elem(0, 1);
+        let h = hist(&[
+            (OpKind::Insert(a), OpReturn::Inserted),
+            (OpKind::DeleteMin, OpReturn::Removed(a)),
+            (OpKind::DeleteMin, OpReturn::Removed(a)),
+        ]);
+        assert!(matches!(
+            rank_error(&h, RankOrder::Fifo),
+            Err(Violation::BadMatching(_))
+        ));
+    }
+
+    #[test]
+    fn worst_case_reversal_has_linear_rank() {
+        // Insert 0..10 by priority, dequeue in exactly reverse order: the
+        // i-th dequeue (taking the largest live) has rank = live - 1.
+        let es: Vec<Element> = (0..10).map(|i| elem(i, i)).collect();
+        let mut entries: Vec<(OpKind, OpReturn)> = es
+            .iter()
+            .map(|&e| (OpKind::Insert(e), OpReturn::Inserted))
+            .collect();
+        entries.extend(
+            es.iter()
+                .rev()
+                .map(|&e| (OpKind::DeleteMin, OpReturn::Removed(e))),
+        );
+        let s = rank_error(&hist(&entries), RankOrder::KeyOrder).unwrap();
+        assert_eq!(s.max, 9);
+        // Mean of 9,8,…,0 = 4.5.
+        assert!((s.mean - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! The rank-error oracle's teeth test: a *strict* sequential heap, run on
+//! arbitrary workloads, must score rank-error ≡ 0 — every dequeue returns
+//! the exact ideal minimum, so any nonzero rank the oracle ever reports on
+//! such an execution would be an oracle bug, not a heap bug. Conversely, a
+//! deliberately mis-ordered execution must be flagged; together these pin
+//! both directions of the metric.
+
+use dpq_baselines::seq_heap::{FifoHeap, KeyHeap, ReferenceHeap};
+use dpq_core::{ElemId, Element, History, NodeId, OpKind, OpReturn, Priority};
+use dpq_semantics::{rank_error, RankOrder};
+use proptest::prelude::*;
+
+/// Run ops through a strict reference heap, recording a history whose
+/// witness order is the execution order.
+fn execute_strict(heap: &mut dyn ReferenceHeap, ops: &[OpKind]) -> History {
+    let mut h = History::new(1);
+    let v = NodeId(0);
+    for (i, &kind) in ops.iter().enumerate() {
+        let id = h.node(v).issue(v, kind);
+        let ret = match kind {
+            OpKind::Insert(e) => {
+                heap.insert(e);
+                OpReturn::Inserted
+            }
+            OpKind::DeleteMin => match heap.delete_min() {
+                Some(e) => OpReturn::Removed(e),
+                None => OpReturn::Bottom,
+            },
+        };
+        h.node(v).complete(id, ret);
+        h.node(v).witness(id, i as u64 + 1);
+    }
+    h
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<OpKind>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // (seq, prio) pairs; seq made unique below.
+            (0u64..8).prop_map(|p| (true, p)),
+            Just((false, 0u64)),
+        ],
+        0..60,
+    )
+    .prop_map(|raw| {
+        let mut seq = 0u64;
+        raw.into_iter()
+            .map(|(is_insert, p)| {
+                if is_insert {
+                    let e = Element::new(ElemId::compose(NodeId(0), seq), Priority(p), seq);
+                    seq += 1;
+                    OpKind::Insert(e)
+                } else {
+                    OpKind::DeleteMin
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// FIFO-strict executions score zero under the FIFO ideal order.
+    #[test]
+    fn fifo_heap_has_zero_rank_error(ops in arb_ops()) {
+        let mut heap = FifoHeap::new();
+        let h = execute_strict(&mut heap, &ops);
+        let s = rank_error(&h, RankOrder::Fifo).expect("well-formed history");
+        prop_assert!(s.is_strict(), "strict FIFO execution scored {s:?}");
+        prop_assert_eq!(s.max, 0);
+        prop_assert_eq!(s.spurious_empty, 0);
+    }
+
+    /// Key-order-strict executions score zero under the key ideal order.
+    #[test]
+    fn key_heap_has_zero_rank_error(ops in arb_ops()) {
+        let mut heap = KeyHeap::new();
+        let h = execute_strict(&mut heap, &ops);
+        let s = rank_error(&h, RankOrder::KeyOrder).expect("well-formed history");
+        prop_assert!(s.is_strict(), "strict key-order execution scored {s:?}");
+        prop_assert_eq!(s.max, 0);
+    }
+
+    /// The other direction: defer every dequeue to the end and serve them
+    /// worst-first; with ≥ 2 live elements at some dequeue, rank error must
+    /// be nonzero — the oracle cannot be fooled into calling disorder
+    /// strict.
+    #[test]
+    fn reversed_service_is_flagged(n in 2u64..30) {
+        let mut h = History::new(1);
+        let v = NodeId(0);
+        let es: Vec<Element> = (0..n)
+            .map(|i| Element::new(ElemId::compose(v, i), Priority(i), 0))
+            .collect();
+        let mut w = 1u64;
+        for &e in &es {
+            let id = h.node(v).issue(v, OpKind::Insert(e));
+            h.node(v).complete(id, OpReturn::Inserted);
+            h.node(v).witness(id, w);
+            w += 1;
+        }
+        for &e in es.iter().rev() {
+            let id = h.node(v).issue(v, OpKind::DeleteMin);
+            h.node(v).complete(id, OpReturn::Removed(e));
+            h.node(v).witness(id, w);
+            w += 1;
+        }
+        let s = rank_error(&h, RankOrder::KeyOrder).expect("well-formed");
+        prop_assert_eq!(s.max, n - 1);
+        prop_assert!(!s.is_strict());
+    }
+}

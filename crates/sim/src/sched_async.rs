@@ -259,7 +259,16 @@ where
     /// Register that the driver just injected `op` into its issuing node;
     /// starts the op's latency clock at the current step.
     pub fn note_injected(&mut self, op: OpId) {
-        self.metrics.note_injected(op, self.step);
+        self.note_injected_at(op, self.step);
+    }
+
+    /// Register an injection whose *arrival* happened at step `step` — the
+    /// open-loop entry point. An open-loop driver replays a pre-drawn
+    /// arrival schedule (ticks mapped onto adversary steps); the latency
+    /// clock must start at the mapped arrival step, not at whatever step
+    /// the driver reached when it got around to issuing the op.
+    pub fn note_injected_at(&mut self, op: OpId, step: u64) {
+        self.metrics.note_injected(op, step);
         if T::ENABLED {
             self.tracer.record(TraceEvent::OpInjected {
                 round: self.step,

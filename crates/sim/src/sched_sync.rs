@@ -92,6 +92,11 @@ pub struct SyncScheduler<P: Protocol, T: Tracer = NullTracer, M: Telemetry = Nul
     /// The metrics sink.
     pub telemetry: M,
     round: u64,
+    /// Simulated-time ticks per round (default 1). Open-loop workload
+    /// drivers set this so op latencies are bucketed on the *simulated*
+    /// time axis (arrival tick → completion tick) rather than the round
+    /// index — see [`Self::set_ticks_per_round`].
+    ticks_per_round: u64,
     /// Recycled Ctx storage: one outbox/event allocation per scheduler,
     /// not per node turn.
     bufs: CtxBufs<P::Msg>,
@@ -153,6 +158,7 @@ where
             tracer,
             telemetry,
             round: 0,
+            ticks_per_round: 1,
             bufs: CtxBufs::default(),
             future_scratch: Vec::new(),
         }
@@ -193,9 +199,20 @@ where
     }
 
     /// Register that the driver just injected `op` into its issuing node;
-    /// starts the op's latency clock at the current round.
+    /// starts the op's latency clock at the current simulated time
+    /// (`round × ticks_per_round`).
     pub fn note_injected(&mut self, op: OpId) {
-        self.metrics.note_injected(op, self.round);
+        self.note_injected_at(op, self.round * self.ticks_per_round);
+    }
+
+    /// Register an injection whose *arrival* happened at simulated tick
+    /// `tick` — the open-loop entry point. Closed-loop drivers inject the
+    /// moment an op is born, so round and arrival coincide; an open-loop
+    /// driver replays a pre-drawn arrival schedule where an op can arrive
+    /// mid-round (ticks_per_round > 1) and must charge the op's latency
+    /// clock from its arrival, not from the round the driver got to it.
+    pub fn note_injected_at(&mut self, op: OpId, tick: u64) {
+        self.metrics.note_injected(op, tick);
         if T::ENABLED {
             self.tracer.record(TraceEvent::OpInjected {
                 round: self.round,
@@ -203,6 +220,32 @@ where
                 op,
             });
         }
+    }
+
+    /// Set the simulated-time granularity: `ticks` per synchronous round
+    /// (≥ 1; default 1, i.e. the time axis *is* the round index). With a
+    /// coarser axis, completions are stamped at `round × ticks` and
+    /// injections at their arrival tick, so the latency histogram buckets
+    /// by simulated time. Set this before injecting anything — rescaling a
+    /// clock with ops in flight would mix time bases.
+    pub fn set_ticks_per_round(&mut self, ticks: u64) {
+        assert!(ticks >= 1, "ticks_per_round must be >= 1");
+        assert_eq!(
+            self.metrics.pending_ops(),
+            0,
+            "cannot rescale the time axis with ops in flight"
+        );
+        self.ticks_per_round = ticks;
+    }
+
+    /// Simulated ticks per round (1 unless an open-loop driver raised it).
+    pub fn ticks_per_round(&self) -> u64 {
+        self.ticks_per_round
+    }
+
+    /// The current simulated time, in ticks.
+    pub fn now_ticks(&self) -> u64 {
+        self.round * self.ticks_per_round
     }
 
     /// Number of nodes.
@@ -441,7 +484,9 @@ where
                     }
                 }
                 CtxEvent::OpDone { op } => {
-                    let lat = self.metrics.note_completed(op, self.round);
+                    let lat = self
+                        .metrics
+                        .note_completed(op, self.round * self.ticks_per_round);
                     if M::ENABLED {
                         if let Some(lat) = lat {
                             self.telemetry.on_op_latency(lat);

@@ -1,0 +1,114 @@
+//! Open-loop simulated-time regression: op-latency histograms must bucket
+//! by *simulated time* (ticks), not by round index, when the driver replays
+//! an open-loop arrival schedule.
+//!
+//! The bug this pins down: every latency path used to be round-indexed —
+//! `note_injected` stamped the current round and completion stamped the
+//! completion round, so with a sub-round time axis (ticks_per_round > 1) an
+//! op that *arrived* at tick 3 but completed at round 5 was charged 5
+//! "units" instead of the 37 simulated ticks it actually waited. Closed-loop
+//! workloads never saw the difference (arrival == injection round and one
+//! round == one tick); the open-loop engine makes the distinction real.
+
+use dpq_core::{BitSize, NodeId, OpId};
+use dpq_sim::{Ctx, Protocol, SyncScheduler};
+
+#[derive(Debug, Clone, Copy)]
+struct NoMsg {}
+
+impl BitSize for NoMsg {
+    fn bits(&self) -> u64 {
+        0
+    }
+}
+
+/// A node that completes pre-registered ops at fixed rounds and sends
+/// nothing: the scheduling skeleton of a protocol, with the protocol removed.
+struct Settle {
+    /// `(op, completion_round)` pairs, drained as rounds pass.
+    due: Vec<(OpId, u64)>,
+}
+
+impl Protocol for Settle {
+    type Msg = NoMsg;
+
+    fn on_activate(&mut self, ctx: &mut Ctx<NoMsg>) {
+        let now = ctx.now();
+        let mut i = 0;
+        while i < self.due.len() {
+            if self.due[i].1 <= now {
+                let (op, _) = self.due.swap_remove(i);
+                ctx.op_completed(op);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: NoMsg, _ctx: &mut Ctx<NoMsg>) {}
+
+    fn done(&self) -> bool {
+        self.due.is_empty()
+    }
+}
+
+fn op(seq: u64) -> OpId {
+    OpId {
+        node: NodeId(0),
+        seq,
+    }
+}
+
+#[test]
+fn open_loop_latency_buckets_by_simulated_ticks_not_rounds() {
+    let mut s = SyncScheduler::new(vec![Settle {
+        due: vec![(op(0), 5)],
+    }]);
+    s.set_ticks_per_round(8);
+    // The op arrived at simulated tick 3 (mid-round 0 on the coarse axis).
+    s.note_injected_at(op(0), 3);
+    assert!(s.run_until_quiescent(100).is_quiescent());
+    let lat = s.metrics.snapshot().latency;
+    assert_eq!(lat.count, 1);
+    // Completion at round 5 = tick 40; arrival tick 3 → 37 simulated ticks.
+    // The round-indexed accounting would have reported 5.
+    assert_eq!(lat.max, 37, "latency must be measured in simulated ticks");
+    assert_ne!(lat.max, 5, "round-indexed latency leaked back in");
+}
+
+#[test]
+fn default_time_axis_is_the_round_index() {
+    // ticks_per_round = 1 (the default): tick-based accounting must be
+    // bit-identical to the historical round-based numbers.
+    let mut s = SyncScheduler::new(vec![Settle {
+        due: vec![(op(0), 5)],
+    }]);
+    s.note_injected(op(0));
+    assert!(s.run_until_quiescent(100).is_quiescent());
+    assert_eq!(s.metrics.snapshot().latency.max, 5);
+}
+
+#[test]
+fn closed_loop_injection_on_a_coarse_axis_stamps_round_ticks() {
+    // `note_injected` (no explicit arrival) under ticks_per_round = 4:
+    // injection at round 0 = tick 0, completion at round 3 = tick 12.
+    let mut s = SyncScheduler::new(vec![Settle {
+        due: vec![(op(0), 3)],
+    }]);
+    s.set_ticks_per_round(4);
+    s.note_injected(op(0));
+    assert!(s.run_until_quiescent(100).is_quiescent());
+    assert_eq!(s.metrics.snapshot().latency.max, 12);
+    assert_eq!(s.ticks_per_round(), 4);
+    assert_eq!(s.now_ticks(), s.round() * 4);
+}
+
+#[test]
+#[should_panic(expected = "ops in flight")]
+fn rescaling_with_pending_ops_is_refused() {
+    let mut s = SyncScheduler::new(vec![Settle {
+        due: vec![(op(0), 2)],
+    }]);
+    s.note_injected(op(0));
+    s.set_ticks_per_round(8); // must panic: mixed time bases
+}

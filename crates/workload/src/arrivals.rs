@@ -1,0 +1,234 @@
+//! Arrival processes: when the next request reaches the cluster.
+//!
+//! Open-loop semantics — arrivals are a function of *time*, not of how fast
+//! the system answers. Two processes:
+//!
+//! * **Poisson(λ)**: i.i.d. Exp(λ) interarrival gaps, the memoryless
+//!   baseline of queueing theory.
+//! * **MMPP**: a 2-state markov-modulated Poisson process alternating
+//!   between a *calm* state (rate λ) and a *burst* state (rate λ·m), with
+//!   exponentially distributed dwell times in each state. This is the
+//!   standard bursty-traffic model: time-varying intensity with heavy
+//!   short-range correlation, which a plain Poisson stream cannot produce.
+//!
+//! All time is in fractional *ticks*; the schedule generator floors
+//! accumulated time onto the integer tick axis.
+
+use dpq_core::DetRng;
+
+/// One Exp(rate) draw via the inverse CDF. Uses `1 - u` so `u = 0` (which
+/// `DetRng::unit` can produce) never feeds `ln(0)`.
+#[inline]
+pub fn exp_draw(rng: &mut DetRng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    -(1.0 - rng.unit()).ln() / rate
+}
+
+/// Poisson process: i.i.d. exponential gaps.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    rate: f64,
+}
+
+impl Poisson {
+    /// A Poisson stream with `rate` arrivals per tick.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Poisson { rate }
+    }
+
+    /// Gap to the next arrival, in fractional ticks.
+    #[inline]
+    pub fn next_gap(&self, rng: &mut DetRng) -> f64 {
+        exp_draw(rng, self.rate)
+    }
+}
+
+/// Which intensity state a [`Mmpp`] is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmppState {
+    /// Baseline intensity.
+    Calm,
+    /// Elevated intensity (`rate × burst_mult`).
+    Burst,
+}
+
+/// What one [`Mmpp::next_event`] step produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppEvent {
+    /// Time since the previous event, fractional ticks.
+    pub gap: f64,
+    /// `true` → an arrival fired; `false` → the state switched.
+    pub is_arrival: bool,
+    /// The state the process was in *during* `gap` (before any switch).
+    pub state: MmppState,
+}
+
+/// 2-state markov-modulated Poisson process.
+///
+/// Simulated by competing exponentials: in a state with arrival rate λ and
+/// switch rate μ = 1/dwell, the next event is Exp(λ+μ) away and is an
+/// arrival with probability λ/(λ+μ) — exactly the superposition of the two
+/// independent exponential clocks, with no discretisation error.
+#[derive(Debug, Clone)]
+pub struct Mmpp {
+    rate_calm: f64,
+    rate_burst: f64,
+    /// Switch rates (1/mean-dwell) out of each state.
+    switch_calm: f64,
+    switch_burst: f64,
+    state: MmppState,
+}
+
+impl Mmpp {
+    /// Calm-state rate `rate`, burst-state rate `rate × burst_mult`, mean
+    /// dwell times `dwell_calm`/`dwell_burst` ticks. Starts calm.
+    pub fn new(rate: f64, burst_mult: f64, dwell_calm: f64, dwell_burst: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        assert!(burst_mult >= 1.0, "burst multiplier must be >= 1");
+        assert!(
+            dwell_calm > 0.0 && dwell_burst > 0.0,
+            "dwells must be positive"
+        );
+        Mmpp {
+            rate_calm: rate,
+            rate_burst: rate * burst_mult,
+            switch_calm: 1.0 / dwell_calm,
+            switch_burst: 1.0 / dwell_burst,
+            state: MmppState::Calm,
+        }
+    }
+
+    /// Current intensity state.
+    pub fn state(&self) -> MmppState {
+        self.state
+    }
+
+    /// Advance to the next event (arrival *or* state switch). Exposed at
+    /// event granularity so the dwell-distribution test can reconstruct
+    /// per-state residence intervals from the same stream the schedule
+    /// generator consumes.
+    pub fn next_event(&mut self, rng: &mut DetRng) -> MmppEvent {
+        let (arr, switch) = match self.state {
+            MmppState::Calm => (self.rate_calm, self.switch_calm),
+            MmppState::Burst => (self.rate_burst, self.switch_burst),
+        };
+        let gap = exp_draw(rng, arr + switch);
+        let is_arrival = rng.unit() < arr / (arr + switch);
+        let state = self.state;
+        if !is_arrival {
+            self.state = match self.state {
+                MmppState::Calm => MmppState::Burst,
+                MmppState::Burst => MmppState::Calm,
+            };
+        }
+        MmppEvent {
+            gap,
+            is_arrival,
+            state,
+        }
+    }
+
+    /// Gap to the next *arrival*, absorbing any state switches in between.
+    pub fn next_gap(&mut self, rng: &mut DetRng) -> f64 {
+        let mut total = 0.0;
+        loop {
+            let ev = self.next_event(rng);
+            total += ev.gap;
+            if ev.is_arrival {
+                return total;
+            }
+        }
+    }
+}
+
+/// A unified arrival stream: the schedule generator only needs "gap to the
+/// next arrival".
+#[derive(Debug, Clone)]
+pub enum Arrivals {
+    /// Memoryless stream.
+    Poisson(Poisson),
+    /// Bursty markov-modulated stream.
+    Mmpp(Mmpp),
+}
+
+impl Arrivals {
+    /// Gap to the next arrival, fractional ticks.
+    pub fn next_gap(&mut self, rng: &mut DetRng) -> f64 {
+        match self {
+            Arrivals::Poisson(p) => p.next_gap(rng),
+            Arrivals::Mmpp(m) => m.next_gap(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_draws_have_the_right_mean() {
+        let mut rng = DetRng::new(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| exp_draw(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_rate_is_honoured() {
+        let p = Poisson::new(2.0);
+        let mut rng = DetRng::new(2);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let rate = n as f64 / total;
+        assert!((rate - 2.0).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn mmpp_visits_both_states() {
+        let mut m = Mmpp::new(1.0, 8.0, 10.0, 5.0);
+        let mut rng = DetRng::new(3);
+        let mut calm = 0;
+        let mut burst = 0;
+        for _ in 0..10_000 {
+            match m.next_event(&mut rng).state {
+                MmppState::Calm => calm += 1,
+                MmppState::Burst => burst += 1,
+            }
+        }
+        assert!(calm > 100 && burst > 100, "calm {calm} burst {burst}");
+    }
+
+    #[test]
+    fn mmpp_burst_state_arrives_faster() {
+        let mut m = Mmpp::new(1.0, 16.0, 50.0, 50.0);
+        let mut rng = DetRng::new(4);
+        let mut sums = [0.0f64; 2];
+        let mut counts = [0u64; 2];
+        for _ in 0..200_000 {
+            let ev = m.next_event(&mut rng);
+            if ev.is_arrival {
+                let i = (ev.state == MmppState::Burst) as usize;
+                sums[i] += ev.gap;
+                counts[i] += 1;
+            }
+        }
+        let mean_calm = sums[0] / counts[0] as f64;
+        let mean_burst = sums[1] / counts[1] as f64;
+        assert!(
+            mean_burst * 4.0 < mean_calm,
+            "burst mean {mean_burst} not ≪ calm mean {mean_calm}"
+        );
+    }
+
+    #[test]
+    fn gaps_are_deterministic() {
+        let mut a = Arrivals::Mmpp(Mmpp::new(2.0, 4.0, 8.0, 2.0));
+        let mut b = Arrivals::Mmpp(Mmpp::new(2.0, 4.0, 8.0, 2.0));
+        let mut ra = DetRng::new(9);
+        let mut rb = DetRng::new(9);
+        for _ in 0..1000 {
+            assert_eq!(a.next_gap(&mut ra), b.next_gap(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Priority mixes: which priority the next insert carries.
+//!
+//! Skeap's priority universe is constant and small (`prio < n_prios`, a
+//! hard assertion in `SkeapNode::issue`), so every mix maps into
+//! `0..n_prios`. The adversarial mixes attack specific structures:
+//!
+//! * **FifoAdversarial** — every insert at priority 0. The heap degenerates
+//!   to a FIFO on the ElemId tiebreaker; relaxed queues that shortcut on
+//!   priority alone reorder freely here, so rank error is maximally visible.
+//! * **LifoAdversarial** — descending priority cycles: each insert (within
+//!   a cycle) becomes the new minimum, forcing constant min-turnover.
+//! * **Sawtooth** — a rising ramp that repeatedly resets, alternately
+//!   starving and flooding the low-priority end.
+//! * **HotKey** — a contended head: probability `hot_frac` of priority 0,
+//!   the rest uniform over the remainder.
+
+use crate::zipf::Zipf;
+use dpq_core::DetRng;
+
+/// The shape of the priority distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixKind {
+    /// Uniform over the universe.
+    Uniform,
+    /// Zipf(s)-skewed: priority k with probability ∝ (k+1)^-s.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+    },
+    /// All inserts at priority 0 (FIFO on the tiebreaker).
+    FifoAdversarial,
+    /// Descending cycles; each insert undercuts the previous.
+    LifoAdversarial,
+    /// Rising ramp of the given period, then reset.
+    Sawtooth {
+        /// Ramp length in inserts.
+        period: u64,
+    },
+    /// Hot head: priority 0 with probability `hot_frac`, rest uniform.
+    HotKey {
+        /// Probability of hitting the hot priority.
+        hot_frac: f64,
+    },
+}
+
+/// A stateful priority generator over `0..n_prios`.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    kind: MixKind,
+    n_prios: u64,
+    zipf: Option<Zipf>,
+    /// Inserts emitted so far (drives the deterministic mixes).
+    counter: u64,
+}
+
+impl Mix {
+    /// Build a mix over the universe `0..n_prios`.
+    pub fn new(kind: MixKind, n_prios: u64) -> Self {
+        assert!(n_prios > 0, "priority universe must be non-empty");
+        if let MixKind::Sawtooth { period } = kind {
+            assert!(period > 0, "sawtooth period must be positive");
+        }
+        if let MixKind::HotKey { hot_frac } = kind {
+            assert!((0.0..=1.0).contains(&hot_frac), "hot_frac must be in [0,1]");
+        }
+        let zipf = match kind {
+            MixKind::Zipf { s } => Some(Zipf::new(n_prios, s)),
+            _ => None,
+        };
+        Mix {
+            kind,
+            n_prios,
+            zipf,
+            counter: 0,
+        }
+    }
+
+    /// Priority of the next insert. Always `< n_prios`.
+    pub fn next_prio(&mut self, rng: &mut DetRng) -> u64 {
+        let i = self.counter;
+        self.counter += 1;
+        match self.kind {
+            MixKind::Uniform => rng.below(self.n_prios),
+            MixKind::Zipf { .. } => self.zipf.as_ref().expect("zipf built in new").sample(rng),
+            MixKind::FifoAdversarial => 0,
+            MixKind::LifoAdversarial => self.n_prios - 1 - (i % self.n_prios),
+            MixKind::Sawtooth { period } => (i % period) * self.n_prios / period,
+            MixKind::HotKey { hot_frac } => {
+                if rng.chance(hot_frac) || self.n_prios == 1 {
+                    0
+                } else {
+                    rng.range(1, self.n_prios - 1)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draws(kind: MixKind, n_prios: u64, count: usize) -> Vec<u64> {
+        let mut m = Mix::new(kind, n_prios);
+        let mut rng = DetRng::new(5);
+        (0..count).map(|_| m.next_prio(&mut rng)).collect()
+    }
+
+    #[test]
+    fn every_mix_stays_in_universe() {
+        for kind in [
+            MixKind::Uniform,
+            MixKind::Zipf { s: 1.0 },
+            MixKind::FifoAdversarial,
+            MixKind::LifoAdversarial,
+            MixKind::Sawtooth { period: 7 },
+            MixKind::HotKey { hot_frac: 0.9 },
+        ] {
+            for p in draws(kind, 5, 1000) {
+                assert!(p < 5, "{kind:?} escaped the universe: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_is_all_zero() {
+        assert!(draws(MixKind::FifoAdversarial, 8, 100)
+            .iter()
+            .all(|&p| p == 0));
+    }
+
+    #[test]
+    fn lifo_descends_within_each_cycle() {
+        let d = draws(MixKind::LifoAdversarial, 4, 8);
+        assert_eq!(d, vec![3, 2, 1, 0, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sawtooth_ramps_and_resets() {
+        let d = draws(MixKind::Sawtooth { period: 4 }, 8, 8);
+        assert_eq!(d, vec![0, 2, 4, 6, 0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn hotkey_concentrates_on_zero() {
+        let d = draws(MixKind::HotKey { hot_frac: 0.8 }, 16, 10_000);
+        let zeros = d.iter().filter(|&&p| p == 0).count();
+        assert!((7_500..8_500).contains(&zeros), "zeros {zeros}");
+        assert!(d.iter().any(|&p| p != 0));
+    }
+
+    #[test]
+    fn zipf_mix_skews_low() {
+        let d = draws(MixKind::Zipf { s: 1.2 }, 16, 10_000);
+        let low = d.iter().filter(|&&p| p < 4).count();
+        assert!(low > 6_000, "low-priority mass {low}");
+    }
+
+    #[test]
+    fn single_prio_universe_never_panics() {
+        for kind in [
+            MixKind::Uniform,
+            MixKind::Zipf { s: 1.0 },
+            MixKind::LifoAdversarial,
+            MixKind::Sawtooth { period: 3 },
+            MixKind::HotKey { hot_frac: 0.5 },
+        ] {
+            assert!(draws(kind, 1, 100).iter().all(|&p| p == 0));
+        }
+    }
+}

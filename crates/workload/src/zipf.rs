@@ -1,0 +1,180 @@
+//! Rejection-free Zipf sampling via the Walker–Vose alias method.
+//!
+//! A Zipf(s) draw over `{0, …, n-1}` has pmf ∝ `(k+1)^-s`. The textbook
+//! inverse-CDF approach needs a binary search per draw and the common
+//! rejection sampler has unbounded worst-case cost; the alias table costs
+//! O(n) once and then exactly one uniform draw plus one coin per sample —
+//! the right trade for a generator that emits millions of priorities per
+//! schedule.
+
+use dpq_core::DetRng;
+
+/// An alias table over an arbitrary finite distribution.
+///
+/// Sampling is O(1): pick a column uniformly, then flip a biased coin to
+/// stay or take the column's alias.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each column, pre-scaled to [0,1).
+    accept: Vec<f64>,
+    /// Alias target of each column.
+    alias: Vec<u64>,
+}
+
+impl AliasTable {
+    /// Build the table from (unnormalised, non-negative) weights.
+    ///
+    /// Panics on an empty weight vector or a zero/negative total.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite total"
+        );
+        // Scale so the average column is exactly 1; columns < 1 are "small"
+        // and get topped up by a "large" column, which donates its excess.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut accept = vec![1.0; n];
+        let mut alias: Vec<u64> = (0..n as u64).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            accept[s] = scaled[s];
+            alias[s] = l as u64;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains is 1.0 up to rounding; keep accept = 1.
+        AliasTable { accept, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Is the table empty? (Never true: construction requires outcomes.)
+    pub fn is_empty(&self) -> bool {
+        self.accept.is_empty()
+    }
+
+    /// One O(1) draw.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let col = rng.below(self.accept.len() as u64);
+        if rng.unit() < self.accept[col as usize] {
+            col
+        } else {
+            self.alias[col as usize]
+        }
+    }
+}
+
+/// Zipf(s) over `{0, …, n-1}`: pmf(k) ∝ (k+1)^-s.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+    pmf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `n` outcomes with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf needs a positive universe");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite, >= 0"
+        );
+        let weights: Vec<f64> = (0..n).map(|k| ((k + 1) as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let pmf = weights.iter().map(|w| w / total).collect();
+        Zipf {
+            table: AliasTable::new(&weights),
+            pmf,
+        }
+    }
+
+    /// Universe size.
+    pub fn n(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// Exact probability of outcome `k` (for goodness-of-fit tests).
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.pmf[k as usize]
+    }
+
+    /// One rejection-free draw.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_table_matches_exact_distribution() {
+        // Weights with an exact closed form: {1, 2, 3, 4} → p = k/10.
+        let t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0]);
+        let mut rng = DetRng::new(42);
+        let mut counts = [0u64; 4];
+        let draws = 400_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = draws as f64 * (k + 1) as f64 / 10.0;
+            let err = (c as f64 - expected).abs() / expected;
+            assert!(err < 0.02, "outcome {k}: count {c} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(64, 1.0);
+        let total: f64 = (0..64).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = Zipf::new(32, 0.8);
+        for k in 1..32 {
+            assert!(z.pmf(k) < z.pmf(k - 1));
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(16, 0.0);
+        for k in 0..16 {
+            assert!((z.pmf(k) - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let z = Zipf::new(100, 1.2);
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

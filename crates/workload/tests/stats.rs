@@ -1,0 +1,145 @@
+//! Statistical conformance of the workload generators.
+//!
+//! Every test here is **seeded and deterministic** — the sample streams are
+//! fixed byte-for-byte by `DetRng`, so these are regression pins with a
+//! statistical *interpretation*, not flaky hypothesis tests. The thresholds
+//! are standard critical values with headroom; a failure means the sampler
+//! chain changed (and golden schedules moved with it), not that the dice
+//! came up cold.
+//!
+//! * **Zipf** — Pearson chi-square goodness-of-fit against the exact pmf
+//!   for s ∈ {0.8, 1.0, 1.2}. 64 support points ⇒ 63 degrees of freedom;
+//!   the χ²₀.₉₉₉ critical value is ≈ 103.4, we allow 110.
+//! * **Poisson** — Kolmogorov–Smirnov distance between the empirical gap
+//!   CDF and 1 − e^(−λx). The α = 0.01 critical distance is 1.63/√N; we
+//!   allow exactly that.
+//! * **MMPP** — event-level dwell accounting: mean contiguous dwell in each
+//!   state must sit within 5 % of the configured means, and the per-state
+//!   arrival rates within 5 % of λ and burst_mult·λ.
+
+use dpq_core::DetRng;
+use dpq_workload::{Mmpp, Poisson, Zipf};
+
+/// Pearson chi-square statistic of `samples` draws from `zipf` against its
+/// exact pmf.
+fn zipf_chi_square(s: f64, seed: u64, samples: u64) -> f64 {
+    let n = 64u64;
+    let zipf = Zipf::new(n, s);
+    let mut rng = DetRng::new(seed);
+    let mut counts = vec![0u64; n as usize];
+    for _ in 0..samples {
+        counts[zipf.sample(&mut rng) as usize] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (k, &c) in counts.iter().enumerate() {
+        let expected = samples as f64 * zipf.pmf(k as u64);
+        assert!(
+            expected >= 5.0,
+            "cell {k} expected count {expected:.2} too small for the chi-square approximation"
+        );
+        let d = c as f64 - expected;
+        chi2 += d * d / expected;
+    }
+    chi2
+}
+
+#[test]
+fn zipf_passes_chi_square_gof_across_exponents() {
+    // 63 degrees of freedom: χ²₀.₉₅ ≈ 82.5, χ²₀.₉₉₉ ≈ 103.4.
+    for (s, seed) in [(0.8, 0xA11A51), (1.0, 0xA11A52), (1.2, 0xA11A53)] {
+        let chi2 = zipf_chi_square(s, seed, 200_000);
+        assert!(
+            chi2 < 110.0,
+            "zipf s={s}: chi-square {chi2:.1} exceeds the 0.999 critical region"
+        );
+    }
+}
+
+#[test]
+fn zipf_chi_square_is_deterministic() {
+    let a = zipf_chi_square(1.0, 7, 50_000);
+    let b = zipf_chi_square(1.0, 7, 50_000);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn poisson_gaps_pass_kolmogorov_smirnov() {
+    let rate = 4.0;
+    let n = 100_000usize;
+    let p = Poisson::new(rate);
+    let mut rng = DetRng::new(0x0150_5505);
+    let mut gaps: Vec<f64> = (0..n).map(|_| p.next_gap(&mut rng)).collect();
+    gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // KS distance against the exponential CDF, both one-sided gaps.
+    let mut d: f64 = 0.0;
+    for (i, &x) in gaps.iter().enumerate() {
+        let cdf = 1.0 - (-rate * x).exp();
+        let lo = i as f64 / n as f64;
+        let hi = (i + 1) as f64 / n as f64;
+        d = d.max((cdf - lo).abs()).max((hi - cdf).abs());
+    }
+    let critical = 1.63 / (n as f64).sqrt(); // α = 0.01
+    assert!(
+        d < critical,
+        "KS distance {d:.5} exceeds the α=0.01 critical value {critical:.5}"
+    );
+}
+
+#[test]
+fn mmpp_dwell_times_and_per_state_rates_match_the_spec() {
+    let (rate, burst_mult, dwell_calm, dwell_burst) = (2.0, 8.0, 32.0, 8.0);
+    let mut mmpp = Mmpp::new(rate, burst_mult, dwell_calm, dwell_burst);
+    let mut rng = DetRng::new(0xD3E11);
+
+    // Event-level accounting: time and arrivals per state, and completed
+    // contiguous dwell periods (a switch event closes one).
+    let mut time = [0.0f64; 2]; // [calm, burst]
+    let mut arrivals = [0u64; 2];
+    let mut periods = [0u64; 2];
+    let mut dwell = [0.0f64; 2];
+    let mut current = 0.0f64;
+    for _ in 0..2_000_000 {
+        let ev = mmpp.next_event(&mut rng);
+        let s = ev.state as usize;
+        time[s] += ev.gap;
+        current += ev.gap;
+        if ev.is_arrival {
+            arrivals[s] += 1;
+        } else {
+            periods[s] += 1;
+            dwell[s] += current;
+            current = 0.0;
+        }
+    }
+
+    let mean_calm = dwell[0] / periods[0] as f64;
+    let mean_burst = dwell[1] / periods[1] as f64;
+    assert!(
+        (mean_calm / dwell_calm - 1.0).abs() < 0.05,
+        "mean calm dwell {mean_calm:.2} vs configured {dwell_calm}"
+    );
+    assert!(
+        (mean_burst / dwell_burst - 1.0).abs() < 0.05,
+        "mean burst dwell {mean_burst:.2} vs configured {dwell_burst}"
+    );
+
+    let rate_calm = arrivals[0] as f64 / time[0];
+    let rate_burst = arrivals[1] as f64 / time[1];
+    assert!(
+        (rate_calm / rate - 1.0).abs() < 0.05,
+        "calm arrival rate {rate_calm:.3} vs configured {rate}"
+    );
+    assert!(
+        (rate_burst / (rate * burst_mult) - 1.0).abs() < 0.05,
+        "burst arrival rate {rate_burst:.3} vs configured {}",
+        rate * burst_mult
+    );
+
+    // The long-run time split must match the dwell ratio.
+    let calm_frac = time[0] / (time[0] + time[1]);
+    let expect = dwell_calm / (dwell_calm + dwell_burst);
+    assert!(
+        (calm_frac - expect).abs() < 0.02,
+        "calm time fraction {calm_frac:.3} vs expected {expect:.3}"
+    );
+}

@@ -8,6 +8,7 @@
 #   ./scripts/check.sh coverage  # the above, plus per-crate coverage floors
 #   ./scripts/check.sh net       # the above, plus the wire-conformance smoke
 #   ./scripts/check.sh churn     # the above, plus the bounded churn storm
+#   ./scripts/check.sh workload  # the above, plus the E19 open-loop smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -128,6 +129,16 @@ fi
 # (churn_storm_full_scale) and runs on demand.
 if [ "$TIER" = "churn" ]; then
   cargo test --release -q -p dpq-gossip --test storm_release -- --ignored --exact churn_storm_bounded
+fi
+
+# Workload tier (opt-in: `./scripts/check.sh workload`): the E19 rank-error
+# shootout driven through a custom open-loop spec (n = 32 <= 64) — exercises
+# the --workload TOML parsing, the schedule generator, both strict drivers
+# and both relaxed executors end to end in release mode. E19 itself asserts
+# the headline invariant (strict protocols rank-error 0 in every cell), so
+# a nonzero exit here means the semantics regressed, not just the harness.
+if [ "$TIER" = "workload" ]; then
+  cargo run -q -p dpq-bench --release --bin experiments -- e19 --workload scripts/workload-smoke.toml
 fi
 
 # Coverage tier (opt-in: `./scripts/check.sh coverage`): per-crate line

@@ -13,6 +13,7 @@ pub use dpq_gossip as gossip;
 pub use dpq_overlay as overlay;
 pub use dpq_semantics as semantics;
 pub use dpq_sim as sim;
+pub use dpq_workload as workload;
 pub use kselect;
 pub use seap;
 pub use skeap;
